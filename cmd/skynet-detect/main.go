@@ -1,0 +1,90 @@
+// Command skynet-detect loads weights produced by skynet-train and runs
+// detection over freshly generated scenes, reporting per-image IoU and the
+// aggregate R_IoU (Equation 2), with optional ASCII rendering.
+//
+// Usage:
+//
+//	skynet-train -variant C -width 0.25 -o skynet.gob
+//	skynet-detect -weights skynet.gob -variant C -width 0.25 -n 32 -render
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"skynet/internal/backbone"
+	"skynet/internal/dataset"
+	"skynet/internal/detect"
+	"skynet/internal/modelspec"
+	"skynet/internal/nn"
+)
+
+func main() {
+	var (
+		ckpt    = flag.String("ckpt", "", "self-describing checkpoint written by skynet-train -ckpt")
+		weights = flag.String("weights", "", "bare weights file (requires matching -variant/-width flags)")
+		variant = flag.String("variant", "C", "SkyNet variant the weights were trained with")
+		relu6   = flag.Bool("relu6", true, "activation the weights were trained with")
+		width   = flag.Float64("width", 0.25, "width multiplier the weights were trained with")
+		imgW    = flag.Int("imgw", 96, "input width in pixels")
+		imgH    = flag.Int("imgh", 48, "input height in pixels")
+		n       = flag.Int("n", 16, "number of scenes to detect")
+		seed    = flag.Int64("seed", 99, "scene generation seed")
+		render  = flag.Bool("render", false, "ASCII-render each detection")
+	)
+	flag.Parse()
+	var g *nn.Graph
+	var head *detect.Head
+	switch {
+	case *ckpt != "":
+		_, cg, chead, err := modelspec.LoadCheckpoint(*ckpt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-detect: %v\n", err)
+			os.Exit(1)
+		}
+		g, head = cg, chead
+	case *weights != "":
+		var v backbone.SkyNetVariant
+		switch *variant {
+		case "A", "a":
+			v = backbone.VariantA
+		case "B", "b":
+			v = backbone.VariantB
+		default:
+			v = backbone.VariantC
+		}
+		rng := rand.New(rand.NewSource(1))
+		cfg := backbone.Config{Width: *width, InC: 3, HeadChannels: 10, ReLU6: *relu6}
+		g = backbone.SkyNet(rng, cfg, v)
+		if err := g.LoadFile(*weights); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-detect: loading %s: %v\n", *weights, err)
+			os.Exit(1)
+		}
+		head = detect.NewHead(nil)
+	default:
+		fmt.Fprintln(os.Stderr, "skynet-detect: -ckpt or -weights is required")
+		os.Exit(2)
+	}
+
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = *imgW, *imgH
+	dcfg.Seed = *seed
+	gen := dataset.NewGenerator(dcfg)
+
+	var total float64
+	for i := 0; i < *n; i++ {
+		s := gen.Scene()
+		x, gts := detect.Batch([]detect.Sample{{Image: s.Image, Box: s.Box}}, 0, 1)
+		boxes, confs := head.Decode(g.Forward(x, false))
+		iou := boxes[0].IoU(gts[0])
+		total += iou
+		fmt.Printf("scene %2d  %-12s conf %.2f  IoU %.3f\n",
+			i+1, dataset.CategoryName(s.Category), confs[0], iou)
+		if *render {
+			fmt.Println(dataset.ASCIIRender(s.Image, s.Box, boxes[0], 64))
+		}
+	}
+	fmt.Printf("R_IoU over %d scenes: %.3f\n", *n, total/float64(*n))
+}

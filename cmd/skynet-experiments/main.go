@@ -1,0 +1,83 @@
+// Command skynet-experiments regenerates the paper's tables and figures
+// from this repository's simulators and training runs.
+//
+// Usage:
+//
+//	skynet-experiments -exp table4            # one experiment
+//	skynet-experiments -exp table5,table6     # several
+//	skynet-experiments -exp all -full         # everything, long budget
+//	skynet-experiments -list                  # available experiment ids
+//
+// Quick mode (default) runs each experiment at a CPU-minutes budget; -full
+// trains longer on more data. -out writes PPM renderings for the
+// qualitative figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skynet/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full  = flag.Bool("full", false, "use the long training budget")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "directory for PPM renderings (fig7/fig8)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quiet = flag.Bool("quiet", false, "suppress progress logging")
+		md    = flag.String("md", "", "also append Markdown renderings to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	opts := experiments.Options{Quick: !*full, Seed: *seed, OutDir: *out}
+	if !*quiet {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "skynet-experiments: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		table := e.Run(opts)
+		fmt.Println(table.Render())
+		if *md != "" {
+			f, err := os.OpenFile(*md, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skynet-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(f, table.Markdown())
+			f.Close()
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command skynet-sim maps a model onto the FPGA accelerator model and
+// prints both the calibrated analytical estimate and the tile-level cycle
+// simulator's per-layer timeline — the §6.4 deployment analysis as a tool.
+//
+// Usage:
+//
+//	skynet-sim                          # full-size SkyNet C on Ultra96
+//	skynet-sim -ckpt model.ckpt         # a trained checkpoint
+//	skynet-sim -device pynq -w 8 -fm 8  # other device / quantization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"skynet/internal/backbone"
+	"skynet/internal/fpga"
+	"skynet/internal/modelspec"
+	"skynet/internal/nn"
+	"skynet/internal/tensor"
+)
+
+func main() {
+	var (
+		ckpt   = flag.String("ckpt", "", "checkpoint to analyze (default: full-size SkyNet C)")
+		device = flag.String("device", "ultra96", "target: ultra96 or pynq")
+		wBits  = flag.Int("w", 11, "weight bits")
+		fmBits = flag.Int("fm", 9, "feature-map bits")
+		imgW   = flag.Int("imgw", 320, "input width")
+		imgH   = flag.Int("imgh", 160, "input height")
+		batch  = flag.Int("batch", 4, "batch size for weight reuse (Figure 9)")
+	)
+	flag.Parse()
+
+	var dev fpga.Device
+	switch *device {
+	case "ultra96":
+		dev = fpga.Ultra96
+	case "pynq":
+		dev = fpga.PynqZ1
+	default:
+		fmt.Fprintf(os.Stderr, "skynet-sim: unknown device %q\n", *device)
+		os.Exit(2)
+	}
+
+	var g *nn.Graph
+	if *ckpt != "" {
+		spec, cg, _, err := modelspec.LoadCheckpoint(*ckpt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model: %s %s width %.3f (%d parameters)\n",
+			spec.Family, spec.Variant, spec.Width, cg.NumParams())
+		g = cg
+	} else {
+		g = backbone.SkyNetC(rand.New(rand.NewSource(0)), backbone.DefaultConfig())
+		fmt.Printf("model: SkyNet C at paper scale (%d parameters)\n", g.NumParams())
+	}
+
+	x := tensor.New(1, 3, *imgH, *imgW)
+	x.RandUniform(rand.New(rand.NewSource(1)), 0, 1)
+	g.Forward(x, false)
+
+	ip := fpga.AutoConfig(dev, *wBits, *fmBits)
+	ip.Batch = *batch
+	fmt.Printf("device: %s\nIP: %dx%d multipliers (W%d/FM%d), batch %d\n\n",
+		dev, ip.Tm, ip.Tn, ip.WBits, ip.FMBits, ip.Batch)
+
+	est := fpga.Estimate(g, dev, ip)
+	fmt.Printf("calibrated estimate: %s\n", est)
+	fmt.Printf("modeled power: %.2f W\n\n", est.PowerW())
+
+	sim := fpga.Simulate(g, dev, ip)
+	fmt.Println("tile-level schedule (ideal bound):")
+	fmt.Print(sim.Timeline())
+}

@@ -1,0 +1,243 @@
+package skynet_test
+
+// Integration tests: end-to-end scenarios crossing module boundaries, at
+// budgets small enough for the regular test run. Each test exercises a
+// realistic user journey rather than a single package.
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"skynet/internal/backbone"
+	"skynet/internal/bundle"
+	"skynet/internal/dataset"
+	"skynet/internal/detect"
+	"skynet/internal/fpga"
+	"skynet/internal/hw"
+	"skynet/internal/modelspec"
+	"skynet/internal/nn"
+	"skynet/internal/pipeline"
+	"skynet/internal/pso"
+	"skynet/internal/quant"
+	"skynet/internal/tensor"
+)
+
+// TestIntegrationTrainQuantizeDeployScore walks the full FPGA deployment
+// journey of §6.4: train a detector, pick a Table 7 quantization scheme,
+// size the Ultra96 IP, simulate the schedule, and produce a contest score.
+func TestIntegrationTrainQuantizeDeployScore(t *testing.T) {
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = 48, 96
+	gen := dataset.NewGenerator(dcfg)
+	train := gen.DetectionSet(32)
+	val := gen.DetectionSet(16)
+
+	rng := rand.New(rand.NewSource(1))
+	cfg := backbone.Config{Width: 0.25, InC: 3, HeadChannels: 10, ReLU6: true}
+	model := backbone.SkyNetC(rng, cfg)
+	head := detect.NewHead(nil)
+	detect.TrainDetector(model, head, train, detect.TrainConfig{
+		Epochs: 4, BatchSize: 8,
+		LR: nn.LRSchedule{Start: 0.01, End: 0.005, Epochs: 4},
+	})
+	floatIoU := detect.MeanIoU(model, head, val, 8)
+
+	// Quantize with the paper's chosen scheme and re-evaluate.
+	var quantIoU float64
+	quant.WithScheme(model, quant.Table7Schemes[1], func() {
+		quantIoU = detect.MeanIoU(model, head, val, 8)
+	})
+	if math.Abs(quantIoU-floatIoU) > 0.2 {
+		t.Fatalf("scheme-1 quantization moved IoU too far: %.3f -> %.3f", floatIoU, quantIoU)
+	}
+
+	// Hardware mapping: estimate + simulate must both fit and agree on the
+	// order of magnitude.
+	x := tensor.New(1, 3, 48, 96)
+	x.RandUniform(rng, 0, 1)
+	model.Forward(x, false)
+	ip := fpga.AutoConfig(fpga.Ultra96, 11, 9)
+	est := fpga.Estimate(model, fpga.Ultra96, ip)
+	sim := fpga.Simulate(model, fpga.Ultra96, ip)
+	if !est.Fits {
+		t.Fatalf("scaled SkyNet must fit the device: %s", est)
+	}
+	if sim.LatencyS > est.LatencyS || est.LatencyS > 20*sim.LatencyS {
+		t.Fatalf("simulator (%.3fms) and estimate (%.3fms) disagree wildly",
+			sim.LatencyS*1e3, est.LatencyS*1e3)
+	}
+
+	// Contest scoring of the deployed design.
+	profile := pipeline.FPGAStageProfile(est.LatencyS)
+	entry := hw.Entry{Team: "integration", IoU: quantIoU,
+		FPS: pipeline.ThroughputFPS(profile), PowerW: est.PowerW()}
+	scores := hw.ScoreEntries([]hw.Entry{entry}, hw.FPGATrackX,
+		hw.CalibrateMeanEnergy(hw.FPGA2019[0], hw.FPGATrackX))
+	if scores[0].TS <= 0 || scores[0].ES < 0 {
+		t.Fatalf("degenerate score %+v", scores[0])
+	}
+}
+
+// TestIntegrationCheckpointJourney trains, checkpoints, reloads in a
+// "different process" (fresh builder), and verifies identical predictions.
+func TestIntegrationCheckpointJourney(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trained.ckpt")
+
+	spec := modelspec.DefaultSpec()
+	spec.Width = 0.125
+	g, head, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := dataset.DefaultConfig()
+	gen := dataset.NewGenerator(dcfg)
+	train := gen.DetectionSet(16)
+	detect.TrainDetector(g, head, train, detect.TrainConfig{
+		Epochs: 2, BatchSize: 8,
+		LR: nn.LRSchedule{Start: 0.01, End: 0.01, Epochs: 2},
+	})
+	if err := modelspec.SaveCheckpoint(path, spec, g); err != nil {
+		t.Fatal(err)
+	}
+
+	_, g2, head2, err := modelspec.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen.Scene()
+	x, _ := detect.Batch([]detect.Sample{{Image: s.Image, Box: s.Box}}, 0, 1)
+	b1, c1 := head.Decode(g.Forward(x, false))
+	b2, c2 := head2.Decode(g2.Forward(x, false))
+	if b1[0] != b2[0] || c1[0] != c2[0] {
+		t.Fatalf("restored model decodes differently: %+v/%v vs %+v/%v",
+			b1[0], c1[0], b2[0], c2[0])
+	}
+}
+
+// TestIntegrationFlowToDeployment runs the bottom-up design flow and maps
+// its winning network straight onto both hardware targets.
+func TestIntegrationFlowToDeployment(t *testing.T) {
+	// Stage 1+2 condensed: evaluate two bundles with a surrogate, search
+	// with the real hardware evaluator at a tiny budget.
+	bundles := bundle.Enumerate()
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = 32, 16
+	ev := &pso.HardwareEvaluator{
+		Bundles: bundles,
+		Gen:     dataset.NewGenerator(dcfg),
+		TrainN:  8, ValN: 4,
+		InC: 3, HeadC: 10,
+		Device: fpga.Ultra96, GPU: hw.TX2,
+		Seed: 1,
+	}
+	cfg := pso.Config{
+		Groups: 2, PerGroup: 2, Iterations: 2,
+		Slots: 3, Pools: 2, ChannelMin: 4, ChannelMax: 24,
+		Alpha:    0.005,
+		Beta:     map[string]float64{pso.PlatformFPGA: 2, pso.PlatformGPU: 1},
+		TargetMS: map[string]float64{pso.PlatformFPGA: 40, pso.PlatformGPU: 15},
+		Seed:     1,
+	}
+	res := pso.Search(cfg, ev)
+
+	// Stage 3: rebuild the winner with the bypass and deploy it.
+	rng := rand.New(rand.NewSource(2))
+	g, _ := pso.BuildGraph(rng, res.Best.Net, bundles, 3, 10, true)
+	x := tensor.New(1, 3, 16, 32)
+	x.RandUniform(rng, 0, 1)
+	g.Forward(x, false)
+	rep := fpga.Estimate(g, fpga.Ultra96, fpga.AutoConfig(fpga.Ultra96, 11, 9))
+	gpuLat := hw.TX2.GraphLatency(g)
+	if !rep.Fits || gpuLat <= 0 {
+		t.Fatalf("searched network failed deployment: %s, gpu %.3fms", rep, gpuLat*1e3)
+	}
+}
+
+// TestIntegrationPipelineOverTrainedModel runs the live three-stage executor
+// over a trained model and checks results match serial execution exactly.
+func TestIntegrationPipelineOverTrainedModel(t *testing.T) {
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = 48, 96
+	rng := rand.New(rand.NewSource(3))
+	cfg := backbone.Config{Width: 0.125, InC: 3, HeadChannels: 10, ReLU6: true}
+	model := backbone.SkyNetC(rng, cfg)
+	head := detect.NewHead(nil)
+
+	type item struct {
+		img  *tensor.Tensor
+		x    *tensor.Tensor
+		pred *tensor.Tensor
+		box  detect.Box
+	}
+	stages := []pipeline.Stage{
+		{Name: pipeline.StagePre, Proc: func(v any) any {
+			f := v.(*item)
+			c, h, w := f.img.Dim(0), f.img.Dim(1), f.img.Dim(2)
+			f.x = f.img.Clone().Reshape(1, c, h, w)
+			return f
+		}},
+		{Name: pipeline.StageInfer, Proc: func(v any) any {
+			f := v.(*item)
+			f.pred = model.Forward(f.x, false)
+			return f
+		}},
+		{Name: pipeline.StagePost, Proc: func(v any) any {
+			f := v.(*item)
+			boxes, _ := head.Decode(f.pred)
+			f.box = boxes[0]
+			return f
+		}},
+	}
+	p := &pipeline.Pipeline{Stages: stages}
+	mk := func() []any {
+		items := make([]any, 6)
+		g2 := dataset.NewGenerator(dcfg)
+		for i := range items {
+			s := g2.Scene()
+			items[i] = &item{img: s.Image}
+		}
+		return items
+	}
+	ser := p.RunSerial(mk())
+	pip := p.RunPipelined(mk(), 2)
+	for i := range ser {
+		if ser[i].(*item).box != pip[i].(*item).box {
+			t.Fatalf("pipelined result %d differs from serial", i)
+		}
+	}
+}
+
+// TestIntegrationMultiScaleDetector trains with the §6.1 multi-scale +
+// augmentation recipe end to end on the real generator.
+func TestIntegrationMultiScaleDetector(t *testing.T) {
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = 48, 96
+	gen := dataset.NewGenerator(dcfg)
+	train := gen.DetectionSet(24)
+	rng := rand.New(rand.NewSource(4))
+	cfg := backbone.Config{Width: 0.125, InC: 3, HeadChannels: 10, ReLU6: true}
+	model := backbone.SkyNetC(rng, cfg)
+	head := detect.NewHead(nil)
+	aug := dataset.NewAugmentor(5, 0.2, 0.08)
+	loss := detect.TrainDetector(model, head, train, detect.TrainConfig{
+		Epochs: 3, BatchSize: 8,
+		LR:      nn.LRSchedule{Start: 0.01, End: 0.005, Epochs: 3},
+		Scales:  [][2]int{{32, 64}, {48, 96}, {64, 128}},
+		Augment: aug.Apply,
+	})
+	if math.IsNaN(loss) || loss <= 0 {
+		t.Fatalf("multi-scale training loss %v", loss)
+	}
+	// The trained model must run at every training scale.
+	for _, scale := range [][2]int{{32, 64}, {48, 96}, {64, 128}} {
+		x := tensor.New(1, 3, scale[0], scale[1])
+		x.RandUniform(rng, 0, 1)
+		out := model.Forward(x, false)
+		if out.Dim(2) != scale[0]/8 || out.Dim(3) != scale[1]/8 {
+			t.Fatalf("scale %v output %v", scale, out.Shape())
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package backbone
+
+import (
+	"math/rand"
+
+	"skynet/internal/nn"
+	"skynet/internal/tensor"
+)
+
+// AlexNet builds an AlexNet-style classifier (Krizhevsky et al., 2012):
+// five convolutions with interleaved pooling followed by three
+// fully-connected layers. It is the model family used in the paper's
+// Figure 2(a) quantization study, where the fully-connected layers dominate
+// the 237.9 MB float32 parameter size. inputH/inputW determine the
+// flattened feature size feeding the first FC layer. At Width=1 with
+// 224×224 input and 1000 classes the parameter count lands within a few
+// percent of the paper's figure.
+func AlexNet(rng *rand.Rand, cfg Config, inputH, inputW, classes int) *nn.Graph {
+	cfg.normalize()
+	g := nn.NewGraph()
+	type convSpec struct{ outC, k, stride, pad int }
+	specs := []convSpec{
+		{96, 11, 4, 2},
+		{256, 5, 1, 2},
+		{384, 3, 1, 1},
+		{384, 3, 1, 1},
+		{256, 3, 1, 1},
+	}
+	poolAfter := map[int]bool{0: true, 1: true, 4: true}
+	inC := cfg.InC
+	h, w := inputH, inputW
+	i := nn.GraphInput
+	for s, sp := range specs {
+		outC := cfg.scale(sp.outC)
+		i = g.Add(nn.NewConv2D(rng, inC, outC, sp.k, sp.stride, sp.pad, true), i)
+		// Batch normalization replaces the original's local response
+		// normalization (the standard modernization; its parameters are a
+		// rounding error next to the FC layers that dominate Figure 2(a)).
+		i = g.Add(nn.NewBatchNorm(outC), i)
+		i = g.Add(nn.NewReLU(), i)
+		h = tensor.ConvOut(h, sp.k, sp.stride, sp.pad)
+		w = tensor.ConvOut(w, sp.k, sp.stride, sp.pad)
+		if poolAfter[s] {
+			i = g.Add(nn.NewMaxPool(2), i)
+			h, w = h/2, w/2
+		}
+		inC = outC
+	}
+	i = g.Add(nn.NewFlatten(), i)
+	fcC := cfg.scale(4096)
+	// Dropout regularizes in proportion to capacity: the original 0.5 at
+	// full width, lighter at the reduced widths used for CPU training.
+	p := 0.5
+	if cfg.Width < 0.25 {
+		p = 0.1
+	}
+	i = g.Add(nn.NewDropout(rng.Int63(), p), i)
+	i = g.Add(nn.NewLinear(rng, inC*h*w, fcC), i)
+	i = g.Add(nn.NewReLU(), i)
+	i = g.Add(nn.NewDropout(rng.Int63(), p), i)
+	i = g.Add(nn.NewLinear(rng, fcC, fcC), i)
+	i = g.Add(nn.NewReLU(), i)
+	g.Add(nn.NewLinear(rng, fcC, classes), i)
+	return g
+}
+
+// AlexNetFeatures builds the convolutional part only, used as the
+// lightweight tracking backbone of Table 8's AlexNet row. Batch
+// normalization replaces the original's local response normalization —
+// the modernization every Siamese-tracking AlexNet (including
+// SiamRPN++'s) applies, without which the stem is untrainable at
+// tracker learning rates.
+func AlexNetFeatures(rng *rand.Rand, cfg Config) *nn.Graph {
+	cfg.normalize()
+	g := nn.NewGraph()
+	sb := &strideBudget{cur: 1, max: cfg.MaxStride}
+	stemStride := sb.take() * sb.take() // the 11×11 stem is stride 4 when the budget allows
+	conv := func(in, out, k, stride, pad, from int) int {
+		i := g.Add(nn.NewConv2D(rng, in, out, k, stride, pad, false), from)
+		i = g.Add(nn.NewBatchNorm(out), i)
+		return g.Add(nn.NewReLU(), i)
+	}
+	i := conv(cfg.InC, cfg.scale(96), 11, stemStride, 2, nn.GraphInput)
+	if sb.take() == 2 {
+		i = g.Add(nn.NewMaxPool(2), i)
+	}
+	i = conv(cfg.scale(96), cfg.scale(256), 5, 1, 2, i)
+	if sb.take() == 2 {
+		i = g.Add(nn.NewMaxPool(2), i)
+	}
+	i = conv(cfg.scale(256), cfg.scale(384), 3, 1, 1, i)
+	i = conv(cfg.scale(384), cfg.scale(384), 3, 1, 1, i)
+	i = conv(cfg.scale(384), cfg.scale(256), 3, 1, 1, i)
+	if cfg.HeadChannels > 0 {
+		g.Add(nn.NewPWConv1(rng, cfg.scale(256), cfg.HeadChannels, true), i)
+	}
+	return g
+}

@@ -1,0 +1,110 @@
+// Package backbone builds the DNN architectures of the paper: the three
+// SkyNet configurations of Table 3 (models A, B and C, with the ReLU/ReLU6
+// ablation of Table 4) and the reference backbones of Table 2 and Tables
+// 8–9 (ResNet-18/34/50, VGG-16, AlexNet).
+//
+// Builders are exact at Width=1 — parameter counts reproduce the paper's
+// published sizes (SkyNet 0.44M, ResNet-18 11.18M, ResNet-50 23.51M,
+// VGG-16 14.71M conv-only) — and accept a width multiplier plus a stride
+// cap so the same architectures can be trained at CPU-friendly scale. The
+// test suite validates the full-size counts against Table 2.
+package backbone
+
+import (
+	"math"
+	"math/rand"
+
+	"skynet/internal/nn"
+)
+
+// Config controls a backbone build.
+type Config struct {
+	// Width multiplies every internal channel count (1.0 = paper size).
+	Width float64
+	// InC is the input channel count (default 3).
+	InC int
+	// HeadChannels, when positive, appends the paper's detection back-end:
+	// a point-wise convolution producing the YOLO-style head tensor
+	// (10 = 2 anchors × 5 for the SkyNet head). Zero returns raw features.
+	HeadChannels int
+	// MaxStride caps the network's total downsampling factor so deep
+	// backbones remain trainable on small synthetic inputs. Zero keeps the
+	// architecture's native stride (8 for SkyNet, 32 for ResNet/VGG).
+	MaxStride int
+	// ReLU6 selects the clipped activation (SkyNet's hardware-friendly
+	// choice, Table 4); false selects plain ReLU.
+	ReLU6 bool
+}
+
+// DefaultConfig is the paper-faithful configuration: full width, RGB input,
+// the 10-channel detection head, and ReLU6.
+func DefaultConfig() Config {
+	return Config{Width: 1, InC: 3, HeadChannels: 10, ReLU6: true}
+}
+
+func (c *Config) normalize() {
+	if c.Width <= 0 {
+		c.Width = 1
+	}
+	if c.InC <= 0 {
+		c.InC = 3
+	}
+	if c.MaxStride <= 0 {
+		c.MaxStride = 1 << 30
+	}
+}
+
+// ScaledChannels exposes the width-multiplied channel count so callers can
+// size layers that consume a backbone's features (e.g. tracker necks).
+func (c Config) ScaledChannels(ch int) int {
+	c.normalize()
+	return c.scale(ch)
+}
+
+// scale applies the width multiplier with a floor of 1 channel.
+func (c Config) scale(ch int) int {
+	s := int(math.Round(float64(ch) * c.Width))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (c Config) act() nn.Layer {
+	if c.ReLU6 {
+		return nn.NewReLU6()
+	}
+	return nn.NewReLU()
+}
+
+// Builder constructs a backbone graph.
+type Builder func(rng *rand.Rand, cfg Config) *nn.Graph
+
+// Named pairs a backbone with its display name and the paper's published
+// full-size parameter count (learnable scalars, detection configuration),
+// used by the Table 2 experiment.
+type Named struct {
+	Name       string
+	Build      Builder
+	PaperParam float64 // in millions; 0 when the paper gives none
+}
+
+// Detectors returns the Table 2 comparison set: the reference backbones and
+// SkyNet, all with the same detection back-end.
+func Detectors() []Named {
+	return []Named{
+		{Name: "ResNet-18", Build: ResNet18, PaperParam: 11.18},
+		{Name: "ResNet-34", Build: ResNet34, PaperParam: 21.28},
+		{Name: "ResNet-50", Build: ResNet50, PaperParam: 23.51},
+		{Name: "VGG-16", Build: VGG16, PaperParam: 14.71},
+		{Name: "SkyNet", Build: SkyNetC, PaperParam: 0.44},
+	}
+}
+
+// ParamsMillions builds the backbone at full size with the detection head
+// and returns its parameter count in millions.
+func ParamsMillions(b Builder) float64 {
+	cfg := DefaultConfig()
+	g := b(rand.New(rand.NewSource(0)), cfg)
+	return float64(g.NumParams()) / 1e6
+}

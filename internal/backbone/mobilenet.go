@@ -1,0 +1,53 @@
+package backbone
+
+import (
+	"math/rand"
+
+	"skynet/internal/nn"
+)
+
+// MobileNetV1 builds the MobileNet feature extractor (Howard et al., 2017)
+// — the depth-wise-separable design several DAC-SDC entries used as their
+// reference DNN (Table 1, e.g. iSmart2's MobileNet+YOLO). It is included
+// as an additional baseline beyond the Table 2 set: SkyNet's Bundle is the
+// same DW+PW separable block, but SkyNet is far shallower and adds the
+// bypass, so comparing the two isolates the contribution of the
+// bottom-up-searched macro-architecture.
+func MobileNetV1(rng *rand.Rand, cfg Config) *nn.Graph {
+	cfg.normalize()
+	g := nn.NewGraph()
+	sb := &strideBudget{cur: 1, max: cfg.MaxStride}
+	// Stem: 3×3/2 conv to 32 channels.
+	stemC := cfg.scale(32)
+	i := g.Add(nn.NewConv2D(rng, cfg.InC, stemC, 3, sb.take(), 1, false), nn.GraphInput)
+	i = g.Add(nn.NewBatchNorm(stemC), i)
+	i = g.Add(cfg.act(), i)
+	// Depth-wise separable plan: (outC, stride) pairs of the original.
+	plan := []struct{ outC, stride int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+	}
+	inC := stemC
+	for _, p := range plan {
+		stride := 1
+		if p.stride == 2 {
+			stride = sb.take()
+		}
+		outC := cfg.scale(p.outC)
+		// DW 3×3 (strided via a pool when needed — our DWConv3 is stride 1).
+		i = g.Add(nn.NewDWConv3(rng, inC, 3, false), i)
+		i = g.Add(nn.NewBatchNorm(inC), i)
+		i = g.Add(cfg.act(), i)
+		if stride == 2 {
+			i = g.Add(nn.NewMaxPool(2), i)
+		}
+		i = g.Add(nn.NewPWConv1(rng, inC, outC, false), i)
+		i = g.Add(nn.NewBatchNorm(outC), i)
+		i = g.Add(cfg.act(), i)
+		inC = outC
+	}
+	if cfg.HeadChannels > 0 {
+		g.Add(nn.NewPWConv1(rng, inC, cfg.HeadChannels, true), i)
+	}
+	return g
+}

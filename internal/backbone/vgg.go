@@ -1,0 +1,38 @@
+package backbone
+
+import (
+	"math/rand"
+
+	"skynet/internal/nn"
+)
+
+// VGG16 builds the convolutional part of VGG-16 (Simonyan & Zisserman,
+// 2014): five blocks of 3×3 convolutions (channel plan 64-128-256-512-512)
+// separated by 2×2 max pools. The fully-connected classifier is omitted —
+// Table 2 attaches the same convolutional detection back-end to every
+// backbone, and the paper's 14.71M figure matches the conv-only network.
+func VGG16(rng *rand.Rand, cfg Config) *nn.Graph {
+	cfg.normalize()
+	g := nn.NewGraph()
+	sb := &strideBudget{cur: 1, max: cfg.MaxStride}
+	plan := []struct{ convs, ch int }{
+		{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+	}
+	inC := cfg.InC
+	i := nn.GraphInput
+	for _, stage := range plan {
+		outC := cfg.scale(stage.ch)
+		for c := 0; c < stage.convs; c++ {
+			i = g.Add(nn.NewConv2D(rng, inC, outC, 3, 1, 1, true), i)
+			i = g.Add(nn.NewReLU(), i)
+			inC = outC
+		}
+		if sb.take() == 2 {
+			i = g.Add(nn.NewMaxPool(2), i)
+		}
+	}
+	if cfg.HeadChannels > 0 {
+		g.Add(nn.NewPWConv1(rng, inC, cfg.HeadChannels, true), i)
+	}
+	return g
+}

@@ -1,0 +1,172 @@
+// Package bundle implements Stage 1 of the paper's bottom-up design flow
+// (§4.1): enumerating hardware-aware basic blocks ("Bundles") from a pool
+// of DNN components, evaluating each Bundle's realistic hardware cost
+// (FPGA latency and resources via the fpga model, GPU latency via the hw
+// roofline) and its potential accuracy (by fast-training a DNN sketch with
+// fixed front- and back-ends and the Bundle replicated in the middle), and
+// selecting the Bundles on the accuracy/latency Pareto frontier.
+package bundle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"skynet/internal/nn"
+)
+
+// Component is one DNN layer type from the enumeration pool.
+type Component int
+
+// The component pool of §4.1 ("Conv, pooling, activation layers, etc.").
+const (
+	Conv3 Component = iota // 3×3 convolution
+	Conv5                  // 5×5 convolution
+	Conv1                  // 1×1 convolution
+	DW3                    // 3×3 depth-wise convolution
+	DW5                    // 5×5 depth-wise convolution
+	PW                     // 1×1 point-wise convolution
+	BN                     // batch normalization
+	ReLU                   // rectifier
+	ReLU6                  // clipped rectifier
+)
+
+// String names the component.
+func (c Component) String() string {
+	return [...]string{"Conv3", "Conv5", "Conv1", "DW3", "DW5", "PW", "BN", "ReLU", "ReLU6"}[c]
+}
+
+// Bundle is an ordered set of components that is stacked repeatedly to
+// form DNNs. From the hardware perspective it is the single IP that every
+// layer shares on the FPGA.
+type Bundle struct {
+	ID         int
+	Components []Component
+}
+
+// Name renders e.g. "DW3+PW+BN+ReLU6".
+func (b Bundle) Name() string {
+	parts := make([]string, len(b.Components))
+	for i, c := range b.Components {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// WithReLU6 returns a copy of the Bundle with every plain ReLU replaced by
+// ReLU6 — Stage 3's hardware-efficiency feature addition (§4.3).
+func (b Bundle) WithReLU6() Bundle {
+	out := Bundle{ID: b.ID, Components: append([]Component(nil), b.Components...)}
+	for i, c := range out.Components {
+		if c == ReLU {
+			out.Components[i] = ReLU6
+		}
+	}
+	return out
+}
+
+// Enumerate assembles the candidate Bundles: every convolution pattern from
+// the pool combined with batch normalization and each activation. This is
+// the "Bundle 1∼n" enumeration of Figure 3.
+func Enumerate() []Bundle {
+	convPatterns := [][]Component{
+		{Conv3}, {Conv5}, {Conv1},
+		{DW3, PW}, {DW5, PW},
+		{Conv3, Conv1},
+	}
+	acts := []Component{ReLU, ReLU6}
+	var out []Bundle
+	id := 0
+	for _, conv := range convPatterns {
+		for _, act := range acts {
+			comps := append(append([]Component{}, conv...), BN, act)
+			out = append(out, Bundle{ID: id, Components: comps})
+			id++
+		}
+	}
+	return out
+}
+
+// Build instantiates the Bundle as layers transforming inC channels to
+// outC channels, and reports the output channel count (= outC).
+func (b Bundle) Build(rng *rand.Rand, inC, outC int) []nn.Layer {
+	var layers []nn.Layer
+	cur := inC
+	// The channel expansion happens at the first non-depth-wise
+	// convolution; depth-wise layers preserve their channel count.
+	for _, c := range b.Components {
+		switch c {
+		case Conv3:
+			layers = append(layers, nn.NewConv2D(rng, cur, outC, 3, 1, 1, false))
+			cur = outC
+		case Conv5:
+			layers = append(layers, nn.NewConv2D(rng, cur, outC, 5, 1, 2, false))
+			cur = outC
+		case Conv1, PW:
+			layers = append(layers, nn.NewPWConv1(rng, cur, outC, false))
+			cur = outC
+		case DW3:
+			layers = append(layers, nn.NewDWConv3(rng, cur, 3, false))
+		case DW5:
+			layers = append(layers, nn.NewDWConv3(rng, cur, 5, false))
+		case BN:
+			layers = append(layers, nn.NewBatchNorm(cur))
+		case ReLU:
+			layers = append(layers, nn.NewReLU())
+		case ReLU6:
+			layers = append(layers, nn.NewReLU6())
+		default:
+			panic(fmt.Sprintf("bundle: unknown component %v", c))
+		}
+	}
+	if cur != outC {
+		// A bundle of only depth-wise layers cannot change width; append a
+		// point-wise projection so stacking stays well-formed.
+		layers = append(layers, nn.NewPWConv1(rng, cur, outC, false))
+	}
+	return layers
+}
+
+// SketchConfig controls the fixed-front-end/fixed-back-end DNN sketch used
+// to probe a Bundle's accuracy potential.
+type SketchConfig struct {
+	InC       int
+	Stem      int   // stem output channels
+	Channels  []int // output channels of each Bundle replication
+	PoolAfter []int // replication indices followed by 2×2 pooling
+	HeadC     int   // back-end channels (the 10-channel box regressor)
+}
+
+// DefaultSketch is a three-replication sketch sized for the synthetic
+// dataset's default resolution.
+func DefaultSketch() SketchConfig {
+	return SketchConfig{InC: 3, Stem: 16,
+		Channels: []int{24, 48, 64}, PoolAfter: []int{0, 1}, HeadC: 10}
+}
+
+// BuildSketch constructs the probe network: a fixed stem (input resizing
+// front-end analog), the Bundle replicated per Channels, and the bounding
+// box regression back-end.
+func (b Bundle) BuildSketch(rng *rand.Rand, cfg SketchConfig) *nn.Graph {
+	g := nn.NewGraph()
+	g.Add(nn.NewConv2D(rng, cfg.InC, cfg.Stem, 3, 1, 1, false))
+	g.Add(nn.NewBatchNorm(cfg.Stem))
+	g.Add(nn.NewReLU())
+	g.Add(nn.NewMaxPool(2)) // the fixed front-end downsamples once
+	cur := cfg.Stem
+	pool := map[int]bool{}
+	for _, p := range cfg.PoolAfter {
+		pool[p] = true
+	}
+	for i, ch := range cfg.Channels {
+		for _, l := range b.Build(rng, cur, ch) {
+			g.Add(l)
+		}
+		cur = ch
+		if pool[i] {
+			g.Add(nn.NewMaxPool(2))
+		}
+	}
+	g.Add(nn.NewPWConv1(rng, cur, cfg.HeadC, true))
+	return g
+}

@@ -1,0 +1,142 @@
+package bundle
+
+import (
+	"math/rand"
+	"testing"
+
+	"skynet/internal/dataset"
+	"skynet/internal/fpga"
+	"skynet/internal/hw"
+	"skynet/internal/tensor"
+)
+
+func TestEnumerateProducesDistinctBundles(t *testing.T) {
+	bundles := Enumerate()
+	if len(bundles) != 12 {
+		t.Fatalf("got %d bundles, want 12 (6 conv patterns × 2 activations)", len(bundles))
+	}
+	names := map[string]bool{}
+	for _, b := range bundles {
+		if names[b.Name()] {
+			t.Fatalf("duplicate bundle %s", b.Name())
+		}
+		names[b.Name()] = true
+	}
+	// The SkyNet winner must be among the candidates.
+	if !names["DW3+PW+BN+ReLU6"] {
+		t.Fatal("the DW3+PW+BN+ReLU6 bundle (SkyNet's choice) is missing")
+	}
+}
+
+func TestBundleBuildChannelContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, b := range Enumerate() {
+		layers := b.Build(rng, 8, 16)
+		if len(layers) == 0 {
+			t.Fatalf("bundle %s built no layers", b.Name())
+		}
+		// Run the layers as a chain and verify the output channel count.
+		x := tensor.New(1, 8, 8, 8)
+		x.RandUniform(rng, 0, 1)
+		cur := x
+		for _, l := range layers {
+			cur = l.Forward([]*tensor.Tensor{cur}, false)
+		}
+		if cur.Dim(1) != 16 {
+			t.Fatalf("bundle %s output channels %d, want 16", b.Name(), cur.Dim(1))
+		}
+	}
+}
+
+func TestBuildSketchForwardAndTrainable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := Enumerate()[6] // a DW bundle
+	g := b.BuildSketch(rng, DefaultSketch())
+	x := tensor.New(2, 3, 24, 48)
+	x.RandUniform(rng, 0, 1)
+	out := g.Forward(x, true)
+	// stem pool + 2 bundle pools = stride 8.
+	if out.Dim(1) != 10 || out.Dim(2) != 3 || out.Dim(3) != 6 {
+		t.Fatalf("sketch output shape %v", out.Shape())
+	}
+	dout := tensor.New(out.Shape()...)
+	dout.Fill(0.01)
+	g.Backward(dout)
+}
+
+func TestHardwareEvalProducesSaneNumbers(t *testing.T) {
+	bundles := Enumerate()
+	sketch := DefaultSketch()
+	dw := bundles[6] // DW3+PW+BN+ReLU
+	cv := bundles[0] // Conv3+BN+ReLU
+	check := func(b Bundle) (float64, int64) {
+		fl, gl, dsp, bram, pb := HardwareEval(b, sketch, 24, 48, fpga.Ultra96, hw.TX2)
+		if fl <= 0 || gl <= 0 || dsp <= 0 || bram <= 0 || pb <= 0 {
+			t.Fatalf("bundle %s: non-positive hardware numbers", b.Name())
+		}
+		return fl, pb
+	}
+	dwLat, dwParams := check(dw)
+	cvLat, cvParams := check(cv)
+	// The depth-wise bundle must be cheaper in parameters; its FPGA latency
+	// should not be dramatically worse despite the diagonal mapping.
+	if dwParams >= cvParams {
+		t.Fatalf("DW bundle params %d should be below Conv3 %d", dwParams, cvParams)
+	}
+	if dwLat > cvLat*3 {
+		t.Fatalf("DW bundle latency %.2f implausibly above Conv3 %.2f", dwLat, cvLat)
+	}
+}
+
+func TestEvaluateAllAndParetoSelect(t *testing.T) {
+	bundles := Enumerate()[:6]
+	// Cheap surrogate accuracy keyed to the bundle ID.
+	surrogate := func(b Bundle) float64 {
+		return []float64{0.3, 0.5, 0.2, 0.45, 0.55, 0.1}[b.ID%6]
+	}
+	evals := EvaluateAll(bundles, surrogate, DefaultSketch(), 24, 48)
+	if len(evals) != 6 {
+		t.Fatalf("got %d evaluations", len(evals))
+	}
+	frontier := ParetoSelect(evals)
+	if len(frontier) == 0 || len(frontier) > len(evals) {
+		t.Fatalf("frontier size %d", len(frontier))
+	}
+	// Frontier must be strictly improving in accuracy as latency grows.
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].Acc <= frontier[i-1].Acc {
+			t.Fatal("frontier accuracy must increase with latency")
+		}
+		if frontier[i].FPGALatMS < frontier[i-1].FPGALatMS {
+			t.Fatal("frontier must be sorted by latency")
+		}
+	}
+	// No frontier point may be dominated by any evaluation.
+	for _, f := range frontier {
+		for _, e := range evals {
+			if e.Acc > f.Acc && e.FPGALatMS < f.FPGALatMS {
+				t.Fatalf("frontier point %s dominated by %s", f.Bundle.Name(), e.Bundle.Name())
+			}
+		}
+	}
+}
+
+// TestTrainingAccuracyRuns exercises the real Stage-1 fast-training path on
+// a tiny budget.
+func TestTrainingAccuracyRuns(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.W, cfg.H = 48, 24
+	gen := dataset.NewGenerator(cfg)
+	acc := TrainingAccuracy(gen, DefaultSketch(), 16, 8, 2, 1)
+	b := Enumerate()[6]
+	v := acc(b)
+	if v < 0 || v > 1 {
+		t.Fatalf("accuracy %v out of [0,1]", v)
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	if Conv3.String() != "Conv3" || ReLU6.String() != "ReLU6" {
+		t.Fatal("component names wrong")
+	}
+}

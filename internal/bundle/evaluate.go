@@ -1,0 +1,100 @@
+package bundle
+
+import (
+	"math/rand"
+	"sort"
+
+	"skynet/internal/dataset"
+	"skynet/internal/detect"
+	"skynet/internal/fpga"
+	"skynet/internal/hw"
+	"skynet/internal/nn"
+	"skynet/internal/tensor"
+)
+
+// Evaluation is one Bundle's Stage-1 scorecard: accuracy potential from
+// fast training plus realistic hardware numbers from the FPGA and GPU
+// models.
+type Evaluation struct {
+	Bundle     Bundle
+	Acc        float64 // validation IoU of the fast-trained sketch
+	FPGALatMS  float64 // sketch latency on the FPGA model
+	GPULatMS   float64 // sketch latency on the GPU roofline
+	DSP        int
+	BRAM       int
+	ParamBytes int64
+}
+
+// AccuracyFn probes a Bundle's accuracy potential. Production code uses
+// TrainingAccuracy; tests may substitute cheap surrogates.
+type AccuracyFn func(b Bundle) float64
+
+// TrainingAccuracy returns an AccuracyFn that builds the Bundle's DNN
+// sketch and fast-trains it for the given number of epochs on generated
+// data (the paper uses 20 epochs), reporting validation mean IoU.
+func TrainingAccuracy(gen *dataset.Generator, sketch SketchConfig, trainN, valN, epochs int, seed int64) AccuracyFn {
+	train := gen.DetectionSet(trainN)
+	val := gen.DetectionSet(valN)
+	return func(b Bundle) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		g := b.BuildSketch(rng, sketch)
+		head := detect.NewHead(nil)
+		detect.TrainDetector(g, head, train, detect.TrainConfig{
+			Epochs:    epochs,
+			BatchSize: 8,
+			LR:        nn.LRSchedule{Start: 0.01, End: 0.002, Epochs: epochs},
+		})
+		return detect.MeanIoU(g, head, val, 8)
+	}
+}
+
+// HardwareEval measures the sketch's cost on the contest platforms. The
+// paper evaluates Bundles under the FPGA's constraints because they are
+// the more restrictive of the two targets (§4.1).
+func HardwareEval(b Bundle, sketch SketchConfig, inH, inW int, dev fpga.Device, gpu hw.Platform) (fpgaLatMS, gpuLatMS float64, dsp, bram int, paramBytes int64) {
+	rng := rand.New(rand.NewSource(0))
+	g := b.BuildSketch(rng, sketch)
+	x := tensor.New(1, sketch.InC, inH, inW)
+	x.RandUniform(rng, 0, 1)
+	g.Forward(x, false)
+	ip := fpga.AutoConfig(dev, 11, 9)
+	rep := fpga.Estimate(g, dev, ip)
+	gpuLat := gpu.GraphLatency(g)
+	return rep.LatencyS * 1e3, gpuLat * 1e3, rep.DSPUsed, rep.BRAMUsed, g.ParamBytes()
+}
+
+// EvaluateAll runs Stage 1 over all candidate Bundles.
+func EvaluateAll(bundles []Bundle, acc AccuracyFn, sketch SketchConfig, inH, inW int) []Evaluation {
+	evals := make([]Evaluation, 0, len(bundles))
+	for _, b := range bundles {
+		fl, gl, dsp, bram, pb := HardwareEval(b, sketch, inH, inW, fpga.Ultra96, hw.TX2)
+		evals = append(evals, Evaluation{
+			Bundle: b, Acc: acc(b),
+			FPGALatMS: fl, GPULatMS: gl, DSP: dsp, BRAM: bram, ParamBytes: pb,
+		})
+	}
+	return evals
+}
+
+// ParetoSelect returns the Bundles on the accuracy/latency Pareto frontier
+// (maximize accuracy, minimize FPGA latency), sorted by latency — "the most
+// promising Bundles located in the Pareto curve are selected for the next
+// stage" (§4.1).
+func ParetoSelect(evals []Evaluation) []Evaluation {
+	sorted := append([]Evaluation(nil), evals...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].FPGALatMS != sorted[j].FPGALatMS {
+			return sorted[i].FPGALatMS < sorted[j].FPGALatMS
+		}
+		return sorted[i].Acc > sorted[j].Acc
+	})
+	var frontier []Evaluation
+	bestAcc := -1.0
+	for _, e := range sorted {
+		if e.Acc > bestAcc {
+			frontier = append(frontier, e)
+			bestAcc = e.Acc
+		}
+	}
+	return frontier
+}

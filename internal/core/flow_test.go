@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"skynet/internal/bundle"
+)
+
+// tinyFlow returns a minimal but complete flow configuration.
+func tinyFlow() FlowConfig {
+	cfg := DefaultFlowConfig()
+	cfg.Dataset.W, cfg.Dataset.H = 32, 16
+	cfg.TrainN, cfg.ValN = 12, 6
+	cfg.Stage1Epochs = 1
+	cfg.Search.PerGroup = 2
+	cfg.Search.Iterations = 2
+	cfg.MaxGroups = 2
+	cfg.FinalEpochs = 2
+	return cfg
+}
+
+func TestRunFullFlow(t *testing.T) {
+	var logs []string
+	cfg := tinyFlow()
+	cfg.Log = func(format string, args ...any) {
+		logs = append(logs, format)
+	}
+	res := Run(cfg)
+
+	// Stage 1: all 12 bundles evaluated, frontier non-empty and capped.
+	if len(res.Candidates) != 12 {
+		t.Fatalf("candidates %d, want 12", len(res.Candidates))
+	}
+	if len(res.Selected) == 0 || len(res.Selected) > 2 {
+		t.Fatalf("selected %d, want 1..2", len(res.Selected))
+	}
+	// Stage 2: history recorded and monotone.
+	if len(res.Search.History) != 2 {
+		t.Fatalf("search history %d", len(res.Search.History))
+	}
+	if res.Search.History[1] < res.Search.History[0] {
+		t.Fatal("search history must be monotone")
+	}
+	// Stage 3: a trained network with valid accuracy and hardware reports.
+	if res.FinalNet == nil || res.Head == nil {
+		t.Fatal("missing final network")
+	}
+	if res.FinalIoU < 0 || res.FinalIoU > 1 {
+		t.Fatalf("final IoU %v", res.FinalIoU)
+	}
+	if res.FPGAReport.LatencyS <= 0 || res.GPULatencyMS <= 0 {
+		t.Fatal("hardware reports missing")
+	}
+	if len(logs) == 0 {
+		t.Fatal("progress log never called")
+	}
+}
+
+func TestStage3ReLU6Swap(t *testing.T) {
+	cfg := tinyFlow()
+	cfg.UseReLU6 = true
+	res := Run(cfg)
+	name := res.FinalBundle.Name()
+	if strings.Contains(name, "ReLU") && !strings.Contains(name, "ReLU6") {
+		t.Fatalf("final bundle %s still uses plain ReLU", name)
+	}
+}
+
+func TestWithReLU6(t *testing.T) {
+	b := bundle.Bundle{Components: []bundle.Component{bundle.DW3, bundle.PW, bundle.BN, bundle.ReLU}}
+	r := b.WithReLU6()
+	if r.Components[3] != bundle.ReLU6 {
+		t.Fatal("WithReLU6 must swap the activation")
+	}
+	if b.Components[3] != bundle.ReLU {
+		t.Fatal("WithReLU6 must not mutate the receiver")
+	}
+}
+
+func TestFlowDeterministic(t *testing.T) {
+	cfg := tinyFlow()
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.FinalSpec.String() != b.FinalSpec.String() {
+		t.Fatalf("flow not deterministic: %s vs %s", a.FinalSpec, b.FinalSpec)
+	}
+	if a.FinalIoU != b.FinalIoU {
+		t.Fatalf("final IoU differs across identical runs: %v vs %v", a.FinalIoU, b.FinalIoU)
+	}
+}

@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"skynet/internal/detect"
+	"skynet/internal/tensor"
+)
+
+// This file is the real-data path: users with actual UAV footage can
+// export/import annotation sets as JSON (one record per image, DAC-SDC
+// style single-object boxes) with images as PPM files, and feed them to
+// the same training APIs the synthetic generator drives.
+
+// Annotation is one image's ground truth in an annotation file.
+type Annotation struct {
+	// Image is the PPM file path, relative to the annotation file.
+	Image string `json:"image"`
+	// Normalized center-format box.
+	CX float64 `json:"cx"`
+	CY float64 `json:"cy"`
+	W  float64 `json:"w"`
+	H  float64 `json:"h"`
+	// Optional category label.
+	Category int `json:"category,omitempty"`
+}
+
+// AnnotationSet is the on-disk dataset description.
+type AnnotationSet struct {
+	// Description is free-form provenance text.
+	Description string       `json:"description,omitempty"`
+	Items       []Annotation `json:"items"`
+}
+
+// ReadPPM parses a binary PPM (P6) image into a [3,H,W] tensor in [0,1] —
+// the inverse of WritePPM.
+func ReadPPM(r io.Reader) (*tensor.Tensor, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxv int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxv); err != nil {
+		return nil, fmt.Errorf("dataset: parsing PPM header: %w", err)
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("dataset: unsupported PPM magic %q", magic)
+	}
+	if w <= 0 || h <= 0 || maxv <= 0 || maxv > 255 {
+		return nil, fmt.Errorf("dataset: bad PPM dimensions %dx%d max %d", w, h, maxv)
+	}
+	// Exactly one whitespace byte separates the header from pixel data.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, w*h*3)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("dataset: reading PPM pixels: %w", err)
+	}
+	img := tensor.New(3, h, w)
+	scale := 1 / float32(maxv)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			base := (y*w + x) * 3
+			for c := 0; c < 3; c++ {
+				img.Set(float32(buf[base+c])*scale, c, y, x)
+			}
+		}
+	}
+	return img, nil
+}
+
+// ReadPPMFile reads a PPM image from the named file.
+func ReadPPMFile(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPPM(f)
+}
+
+// Export writes samples as an annotation JSON plus one PPM per image in
+// dir. The annotation file is dir/annotations.json.
+func Export(dir string, samples []detect.Sample) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	set := AnnotationSet{Description: "exported by skynet/internal/dataset"}
+	for i, s := range samples {
+		name := fmt.Sprintf("img%05d.ppm", i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := WritePPM(f, s.Image); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		set.Items = append(set.Items, Annotation{
+			Image: name, CX: s.Box.CX, CY: s.Box.CY, W: s.Box.W, H: s.Box.H,
+		})
+	}
+	b, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "annotations.json"), append(b, '\n'), 0o644)
+}
+
+// Import loads an annotation set written by Export (or hand-authored in
+// the same format) back into detection samples.
+func Import(dir string) ([]detect.Sample, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "annotations.json"))
+	if err != nil {
+		return nil, err
+	}
+	var set AnnotationSet
+	if err := json.Unmarshal(b, &set); err != nil {
+		return nil, fmt.Errorf("dataset: parsing annotations: %w", err)
+	}
+	samples := make([]detect.Sample, 0, len(set.Items))
+	for i, a := range set.Items {
+		if a.W <= 0 || a.H <= 0 || a.CX < 0 || a.CX > 1 || a.CY < 0 || a.CY > 1 {
+			return nil, fmt.Errorf("dataset: annotation %d has an invalid box", i)
+		}
+		img, err := ReadPPMFile(filepath.Join(dir, a.Image))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: annotation %d: %w", i, err)
+		}
+		samples = append(samples, detect.Sample{
+			Image: img,
+			Box:   detect.Box{CX: a.CX, CY: a.CY, W: a.W, H: a.H},
+		})
+	}
+	return samples, nil
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPPMRoundTrip(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	s := g.Scene()
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, s.Image); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameShape(s.Image) {
+		t.Fatalf("shape %v vs %v", back.Shape(), s.Image.Shape())
+	}
+	// 8-bit storage quantizes to within 1/255 per channel.
+	for i := range s.Image.Data {
+		if math.Abs(float64(back.Data[i]-s.Image.Data[i])) > 1.0/255+1e-6 {
+			t.Fatalf("pixel %d: %v vs %v", i, back.Data[i], s.Image.Data[i])
+		}
+	}
+}
+
+func TestReadPPMRejectsGarbage(t *testing.T) {
+	for name, data := range map[string]string{
+		"magic":     "P5\n2 2\n255\n....",
+		"truncated": "P6\n4 4\n255\nxx",
+		"dims":      "P6\n0 2\n255\n",
+		"maxval":    "P6\n2 2\n70000\n",
+	} {
+		if _, err := ReadPPM(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: bad PPM accepted", name)
+		}
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := NewGenerator(DefaultConfig())
+	samples := g.DetectionSet(4)
+	if err := Export(dir, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Import(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Fatalf("imported %d samples, want %d", len(back), len(samples))
+	}
+	for i := range samples {
+		if math.Abs(back[i].Box.CX-samples[i].Box.CX) > 1e-9 {
+			t.Fatalf("sample %d box drifted", i)
+		}
+		if !back[i].Image.SameShape(samples[i].Image) {
+			t.Fatalf("sample %d image shape changed", i)
+		}
+	}
+}
+
+func TestImportRejectsInvalidBox(t *testing.T) {
+	dir := t.TempDir()
+	bad := `{"items":[{"image":"x.ppm","cx":0.5,"cy":0.5,"w":-1,"h":0.1}]}`
+	if err := os.WriteFile(filepath.Join(dir, "annotations.json"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir); err == nil {
+		t.Fatal("negative box size must be rejected")
+	}
+}
+
+func TestImportMissingImage(t *testing.T) {
+	dir := t.TempDir()
+	ann := `{"items":[{"image":"missing.ppm","cx":0.5,"cy":0.5,"w":0.1,"h":0.1}]}`
+	if err := os.WriteFile(filepath.Join(dir, "annotations.json"), []byte(ann), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir); err == nil {
+		t.Fatal("missing image must be reported")
+	}
+}

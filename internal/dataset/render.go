@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"skynet/internal/detect"
+	"skynet/internal/tensor"
+)
+
+// DrawBox overlays a one-pixel box outline on a [3,H,W] image in place,
+// with the given RGB color. Used to visualize predictions for the paper's
+// Figure 7 / Figure 8 qualitative panels.
+func DrawBox(img *tensor.Tensor, b detect.Box, r, g, bl float32) {
+	h, w := img.Dim(1), img.Dim(2)
+	x1, y1, x2, y2 := b.Corners()
+	px1, py1 := clampInt(int(x1*float64(w)), 0, w-1), clampInt(int(y1*float64(h)), 0, h-1)
+	px2, py2 := clampInt(int(x2*float64(w)), 0, w-1), clampInt(int(y2*float64(h)), 0, h-1)
+	set := func(y, x int) {
+		img.Set(r, 0, y, x)
+		img.Set(g, 1, y, x)
+		img.Set(bl, 2, y, x)
+	}
+	for x := px1; x <= px2; x++ {
+		set(py1, x)
+		set(py2, x)
+	}
+	for y := py1; y <= py2; y++ {
+		set(y, px1)
+		set(y, px2)
+	}
+}
+
+// WritePPM writes a [3,H,W] image in [0,1] as a binary PPM (P6) file, the
+// simplest stdlib-only viewable format.
+func WritePPM(w io.Writer, img *tensor.Tensor) error {
+	if img.Rank() != 3 || img.Dim(0) != 3 {
+		return fmt.Errorf("dataset: WritePPM expects [3,H,W], got %v", img.Shape())
+	}
+	h, wd := img.Dim(1), img.Dim(2)
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, h*wd*3)
+	for y := 0; y < h; y++ {
+		for x := 0; x < wd; x++ {
+			for c := 0; c < 3; c++ {
+				v := img.At(c, y, x)
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				buf = append(buf, byte(v*255+0.5))
+			}
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ASCIIRender draws a coarse terminal rendering of the image with the
+// ground-truth box marked 'G' and the prediction marked 'P' ('B' where they
+// coincide) — the textual stand-in for Figure 7's photo panels.
+func ASCIIRender(img *tensor.Tensor, gt, pred detect.Box, cols int) string {
+	h, w := img.Dim(1), img.Dim(2)
+	if cols <= 0 {
+		cols = 48
+	}
+	rows := cols * h / w / 2 // terminal cells are ~2x taller than wide
+	if rows < 1 {
+		rows = 1
+	}
+	shades := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	onEdge := func(b detect.Box, fy, fx float64) bool {
+		x1, y1, x2, y2 := b.Corners()
+		tolX, tolY := 1.0/float64(cols), 1.0/float64(rows)
+		inX := fx >= x1-tolX && fx <= x2+tolX
+		inY := fy >= y1-tolY && fy <= y2+tolY
+		edgeX := abs(fx-x1) < tolX || abs(fx-x2) < tolX
+		edgeY := abs(fy-y1) < tolY || abs(fy-y2) < tolY
+		return (edgeX && inY) || (edgeY && inX)
+	}
+	for ry := 0; ry < rows; ry++ {
+		fy := (float64(ry) + 0.5) / float64(rows)
+		for rx := 0; rx < cols; rx++ {
+			fx := (float64(rx) + 0.5) / float64(cols)
+			gtE, prE := onEdge(gt, fy, fx), onEdge(pred, fy, fx)
+			switch {
+			case gtE && prE:
+				sb.WriteByte('B')
+			case gtE:
+				sb.WriteByte('G')
+			case prE:
+				sb.WriteByte('P')
+			default:
+				y := clampInt(int(fy*float64(h)), 0, h-1)
+				x := clampInt(int(fx*float64(w)), 0, w-1)
+				lum := (img.At(0, y, x) + img.At(1, y, x) + img.At(2, y, x)) / 3
+				sb.WriteByte(shades[clampInt(int(lum*float32(len(shades))), 0, len(shades)-1)])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"math"
+
+	"skynet/internal/detect"
+	"skynet/internal/tensor"
+)
+
+// Sequence is a GOT-10k-style tracking clip: one object moving through a
+// static-background scene, with a ground-truth box and segmentation mask
+// per frame. Masks stand in for the Youtube-VOS supervision SiamMask needs.
+type Sequence struct {
+	Frames []*tensor.Tensor // each [3,H,W]
+	Boxes  []detect.Box
+	Masks  []*tensor.Tensor // each [1,H,W]
+	// Category identifies the tracked object's appearance.
+	Category, SubCategory int
+}
+
+// Len returns the number of frames.
+func (s Sequence) Len() int { return len(s.Frames) }
+
+// SequenceConfig controls clip generation.
+type SequenceConfig struct {
+	Length int
+	// MaxStep is the per-frame object displacement bound as a fraction of
+	// the image size.
+	MaxStep float64
+	// ScaleDrift is the per-frame multiplicative size drift bound.
+	ScaleDrift float64
+	// OcclusionProb is the per-frame probability that a foreground
+	// occluder partially covers the target — one of GOT-10k's "in the
+	// wild" challenges. Occluded pixels are removed from the frame's mask;
+	// the ground-truth box is unchanged (the benchmark convention).
+	OcclusionProb float64
+}
+
+// DefaultSequenceConfig matches moderate GOT-10k-like motion.
+func DefaultSequenceConfig() SequenceConfig {
+	return SequenceConfig{Length: 20, MaxStep: 0.03, ScaleDrift: 0.02}
+}
+
+// Sequence generates one tracking clip. The object follows a smooth
+// random walk with velocity damping and slowly drifting scale; clutter
+// objects stay fixed, emulating a static camera over moving targets.
+func (g *Generator) Sequence(cfg SequenceConfig) Sequence {
+	if cfg.Length <= 0 {
+		cfg.Length = 20
+	}
+	cat := g.rng.Intn(NumCategories)
+	sub := g.rng.Intn(NumSubCategories)
+	// Track a medium-sized object so even heavily-scaled-down backbones
+	// keep a few feature cells on it.
+	box := detect.Box{
+		CX: 0.3 + 0.4*g.rng.Float64(),
+		CY: 0.3 + 0.4*g.rng.Float64(),
+		W:  0.12 + 0.1*g.rng.Float64(),
+		H:  0.12 + 0.1*g.rng.Float64(),
+	}
+	// Pre-render the static background with clutter once.
+	bg := tensor.New(3, g.cfg.H, g.cfg.W)
+	g.paintBackground(bg)
+	nClutter := poissonish(g.rng, g.cfg.Clutter)
+	for i := 0; i < nClutter; i++ {
+		g.paintDistractor(bg, g.sampleBox(), g.rng.Intn(NumCategories), g.rng.Intn(NumSubCategories))
+	}
+	seq := Sequence{Category: cat, SubCategory: sub}
+	vx := (g.rng.Float64()*2 - 1) * cfg.MaxStep
+	vy := (g.rng.Float64()*2 - 1) * cfg.MaxStep
+	for f := 0; f < cfg.Length; f++ {
+		frame := bg.Clone()
+		mask := tensor.New(1, g.cfg.H, g.cfg.W)
+		g.paintObject(frame, mask, box, cat, sub)
+		if cfg.OcclusionProb > 0 && g.rng.Float64() < cfg.OcclusionProb {
+			g.paintOccluder(frame, mask, box)
+		}
+		g.addNoise(frame)
+		seq.Frames = append(seq.Frames, frame)
+		seq.Boxes = append(seq.Boxes, box)
+		seq.Masks = append(seq.Masks, mask)
+		// Advance motion: damped random-walk velocity, bounce at edges.
+		vx = 0.9*vx + 0.1*(g.rng.Float64()*2-1)*cfg.MaxStep
+		vy = 0.9*vy + 0.1*(g.rng.Float64()*2-1)*cfg.MaxStep
+		box.CX += vx
+		box.CY += vy
+		if box.CX < box.W/2 || box.CX > 1-box.W/2 {
+			vx = -vx
+			box.CX = math.Max(box.W/2, math.Min(1-box.W/2, box.CX))
+		}
+		if box.CY < box.H/2 || box.CY > 1-box.H/2 {
+			vy = -vy
+			box.CY = math.Max(box.H/2, math.Min(1-box.H/2, box.CY))
+		}
+		scale := 1 + (g.rng.Float64()*2-1)*cfg.ScaleDrift
+		box.W = math.Min(0.5, math.Max(0.05, box.W*scale))
+		box.H = math.Min(0.5, math.Max(0.05, box.H*scale))
+	}
+	return seq
+}
+
+// paintOccluder draws a flat gray bar across part of the target box,
+// clearing the mask where it covers the object.
+func (g *Generator) paintOccluder(frame, mask *tensor.Tensor, box detect.Box) {
+	h, w := frame.Dim(1), frame.Dim(2)
+	// A vertical or horizontal bar over ~40% of the box.
+	vertical := g.rng.Float64() < 0.5
+	ob := box
+	if vertical {
+		ob.W = box.W * 0.4
+		ob.CX = box.CX + (g.rng.Float64()-0.5)*box.W*0.6
+		ob.H = box.H * 1.4
+	} else {
+		ob.H = box.H * 0.4
+		ob.CY = box.CY + (g.rng.Float64()-0.5)*box.H*0.6
+		ob.W = box.W * 1.4
+	}
+	ob = ob.Clip()
+	x1, y1, x2, y2 := ob.Corners()
+	shade := float32(0.3 + 0.2*g.rng.Float64())
+	for y := int(y1 * float64(h)); y < int(math.Ceil(y2*float64(h))); y++ {
+		for x := int(x1 * float64(w)); x < int(math.Ceil(x2*float64(w))); x++ {
+			if y < 0 || y >= h || x < 0 || x >= w {
+				continue
+			}
+			for c := 0; c < 3; c++ {
+				frame.Set(shade, c, y, x)
+			}
+			mask.Set(0, 0, y, x)
+		}
+	}
+}
+
+// Sequences generates n clips.
+func (g *Generator) Sequences(n int, cfg SequenceConfig) []Sequence {
+	out := make([]Sequence, n)
+	for i := range out {
+		out[i] = g.Sequence(cfg)
+	}
+	return out
+}

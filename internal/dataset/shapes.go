@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"math"
+
+	"skynet/internal/detect"
+	"skynet/internal/tensor"
+)
+
+// Category shapes: each of the 12 DAC-SDC-like main categories maps to a
+// distinct silhouette; the 95 sub-categories modulate color and texture.
+// The names are purely descriptive — what matters is that categories are
+// visually separable and sub-categories of one category look similar
+// (the "multiple similar objects" challenge of Figure 7).
+var categoryNames = [NumCategories]string{
+	"car", "truck", "boat", "person", "rider", "drone",
+	"building", "horse", "paraglider", "wagon", "whale", "bird",
+}
+
+// CategoryName returns a descriptive name for a category index.
+func CategoryName(cat int) string { return categoryNames[cat%NumCategories] }
+
+// inShape reports whether the normalized in-box coordinates (u,v) ∈ [0,1]²
+// fall inside the silhouette of the given category.
+func inShape(cat int, u, v float64) bool {
+	du, dv := u-0.5, v-0.5
+	switch cat % NumCategories {
+	case 0: // filled rectangle
+		return true
+	case 1: // rectangle with cab notch
+		return !(u > 0.7 && v < 0.35)
+	case 2: // hull: triangle-bottomed
+		return v < 0.5 || math.Abs(du) < 0.5-(v-0.5)
+	case 3: // ellipse
+		return du*du/0.25+dv*dv/0.25 <= 1
+	case 4: // two stacked ellipses (rider)
+		return du*du/0.09+(v-0.3)*(v-0.3)/0.04 <= 1 || du*du/0.16+(v-0.7)*(v-0.7)/0.09 <= 1
+	case 5: // cross / quadcopter
+		return math.Abs(du) < 0.15 || math.Abs(dv) < 0.15
+	case 6: // frame (hollow rectangle)
+		return math.Abs(du) > 0.3 || math.Abs(dv) > 0.3
+	case 7: // diamond
+		return math.Abs(du)+math.Abs(dv) <= 0.5
+	case 8: // chevron
+		return math.Abs(dv-(0.25-math.Abs(du))) < 0.18
+	case 9: // horizontal bar
+		return math.Abs(dv) < 0.2
+	case 10: // lens (intersection of two discs)
+		return du*du+(dv-0.25)*(dv-0.25) <= 0.3 && du*du+(dv+0.25)*(dv+0.25) <= 0.3
+	case 11: // ring
+		r2 := du*du + dv*dv
+		return r2 <= 0.25 && r2 >= 0.06
+	}
+	return true
+}
+
+// subAppearance derives the deterministic color and texture parameters of
+// a sub-category.
+func subAppearance(cat, sub int) (color [3]float64, stripeFreq float64, stripeAxis bool) {
+	// Simple integer hash so appearance is stable across runs.
+	h := uint32(cat*131 + sub*2654435761)
+	h ^= h >> 13
+	h *= 2246822519
+	h ^= h >> 16
+	color[0] = 0.4 + 0.6*float64(h&0xFF)/255
+	color[1] = 0.4 + 0.6*float64((h>>8)&0xFF)/255
+	color[2] = 0.4 + 0.6*float64((h>>16)&0xFF)/255
+	// Make one channel dark so objects contrast with the mid-gray ground.
+	color[int(h>>24)%3] *= 0.25
+	stripeFreq = float64(2 + int(h>>5)%4)
+	stripeAxis = (h>>9)&1 == 1
+	return
+}
+
+// paintObject renders the category silhouette into img within box; if mask
+// is non-nil it receives 1 at every painted pixel.
+func (g *Generator) paintObject(img, mask *tensor.Tensor, box detect.Box, cat, sub int) {
+	g.paint(img, mask, box, cat, sub, false)
+}
+
+// paintDistractor renders a background object: the same silhouettes, but
+// desaturated toward the terrain tones so the target of interest remains
+// identifiable — the DAC-SDC target is a specific, visually distinctive
+// object, while other scene objects merely add clutter (Figure 7).
+func (g *Generator) paintDistractor(img *tensor.Tensor, box detect.Box, cat, sub int) {
+	g.paint(img, nil, box, cat, sub, true)
+}
+
+func (g *Generator) paint(img, mask *tensor.Tensor, box detect.Box, cat, sub int, muted bool) {
+	h, w := img.Dim(1), img.Dim(2)
+	x1, y1, x2, y2 := box.Corners()
+	px1, py1 := int(x1*float64(w)), int(y1*float64(h))
+	px2, py2 := int(math.Ceil(x2*float64(w))), int(math.Ceil(y2*float64(h)))
+	if px1 < 0 {
+		px1 = 0
+	}
+	if py1 < 0 {
+		py1 = 0
+	}
+	if px2 > w {
+		px2 = w
+	}
+	if py2 > h {
+		py2 = h
+	}
+	if px2 <= px1 || py2 <= py1 {
+		return
+	}
+	color, stripeFreq, stripeAxis := subAppearance(cat, sub)
+	if muted {
+		// Blend toward mid-gray: structure without target-like saliency.
+		for c := range color {
+			color[c] = 0.35 + 0.25*(color[c]-0.35)
+		}
+	}
+	for y := py1; y < py2; y++ {
+		v := (float64(y) + 0.5 - y1*float64(h)) / (float64(py2 - py1))
+		for x := px1; x < px2; x++ {
+			u := (float64(x) + 0.5 - x1*float64(w)) / (float64(px2 - px1))
+			if !inShape(cat, u, v) {
+				continue
+			}
+			shade := 1.0
+			t := u
+			if stripeAxis {
+				t = v
+			}
+			if math.Sin(t*stripeFreq*math.Pi) < 0 {
+				shade = 0.75
+			}
+			for c := 0; c < 3; c++ {
+				img.Set(clamp01f(color[c]*shade), c, y, x)
+			}
+			if mask != nil {
+				mask.Set(1, 0, y, x)
+			}
+		}
+	}
+}

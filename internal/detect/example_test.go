@@ -1,0 +1,27 @@
+package detect_test
+
+import (
+	"fmt"
+
+	"skynet/internal/detect"
+)
+
+func ExampleBox_IoU() {
+	a := detect.Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+	b := detect.Box{CX: 0.55, CY: 0.5, W: 0.2, H: 0.2}
+	fmt.Printf("%.3f\n", a.IoU(b))
+	// Output: 0.600
+}
+
+func ExampleBestAnchor() {
+	small := detect.Box{W: 0.05, H: 0.08}
+	fmt.Println(detect.BestAnchor(small, detect.DefaultAnchors))
+	// Output: 0
+}
+
+func ExampleNewHead() {
+	head := detect.NewHead(nil)
+	// The SkyNet head: two anchors × (tx, ty, tw, th, conf), no classes.
+	fmt.Println(head.Channels())
+	// Output: 10
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"skynet/internal/backbone"
+	"skynet/internal/dataset"
+	"skynet/internal/detect"
+	"skynet/internal/nn"
+	"skynet/internal/quant"
+	"skynet/internal/tensor"
+)
+
+// Fig2a reproduces the quantization-sensitivity study: an AlexNet-class
+// classifier is trained in float32, then evaluated under (blue series)
+// progressively compressed parameters with float feature maps, and (green
+// series) progressively compressed feature maps with float parameters.
+// The paper's finding: accuracy is far more sensitive to feature-map
+// precision at matching compression ratios.
+func Fig2a(o Options) Table {
+	cfg := o.datasetConfig()
+	cfg.W, cfg.H = 48, 48
+	cfg.Clutter = 0 // classification probes appearance, not localization
+	gen := dataset.NewGenerator(cfg)
+	// The classifier needs a larger budget than the detectors to move well
+	// clear of chance accuracy, or the quantization deltas drown in noise.
+	nTrain, nVal, epochs := 1024, 128, 30
+	if !o.Quick {
+		nTrain, nVal, epochs = 2048, 256, 50
+	}
+	if o.Override != nil {
+		nTrain, nVal, epochs = o.Override.TrainN, o.Override.ValN, o.Override.Epochs
+	}
+	imgs, labels := gen.ClassificationSet(nTrain)
+	valImgs, valLabels := gen.ClassificationSet(nVal)
+	rng := rand.New(rand.NewSource(o.seed()))
+	g := backbone.AlexNet(rng, backbone.Config{Width: 0.0625, InC: 3}, 48, 48, dataset.NumCategories)
+	o.logf("fig2a: training AlexNet-class model (%d params, %d images, %d epochs)",
+		g.NumParams(), nTrain, epochs)
+	trainClassifier(g, imgs, labels, epochs)
+	evalAcc := func() float64 {
+		var correct float64
+		for lo := 0; lo < len(valImgs); lo += 8 {
+			hi := min(lo+8, len(valImgs))
+			x := stack(valImgs[lo:hi])
+			out := g.Forward(x, false)
+			correct += nn.Accuracy(out, valLabels[lo:hi]) * float64(hi-lo)
+		}
+		return correct / float64(len(valImgs))
+	}
+	base := evalAcc()
+	// Record the float sizes after one forward (for FM accounting).
+	paramMB := float64(quant.ParamBytesAtBits(g, 0)) / 1e6
+	fmMB := float64(quant.FMBytesAtBits(g, 0)) / 1e6
+
+	t := Table{
+		ID:     "Figure 2(a)",
+		Title:  "Accuracy under parameter vs feature-map quantization",
+		Header: []string{"Series", "Scheme", "Params (MB)", "FMs (MB)", "Compression", "Accuracy"},
+		Notes: []string{
+			"float32 AlexNet-class reference accuracy " + f3(base),
+			"blue = parameter compression (FM float32); green = FM compression (params float32)",
+		},
+	}
+	t.Rows = append(t.Rows, []string{"float32", "-", f2(paramMB), f2(fmMB), "1.0x", f3(base)})
+	for _, gb := range quant.Fig2aParamSchemes {
+		restore := quant.ApplyGroupBits(g, gb)
+		acc := evalAcc()
+		restore()
+		sz := float64(quant.GroupedParamBytes(g, gb)) / 1e6
+		t.Rows = append(t.Rows, []string{"param (blue)", gb.Name, f2(sz), f2(fmMB),
+			f1(paramMB/sz) + "x", f3(acc)})
+	}
+	for _, gb := range quant.Fig2aFMSchemes {
+		remove := quant.InstallFMHook(g, gb.FMBits)
+		acc := evalAcc()
+		remove()
+		sz := float64(quant.FMBytesAtBits(g, gb.FMBits)) / 1e6
+		t.Rows = append(t.Rows, []string{"FM (green)", gb.Name, f2(paramMB), f2(sz),
+			f1(fmMB/sz) + "x", f3(acc)})
+	}
+	return t
+}
+
+func stack(imgs []*tensor.Tensor) *tensor.Tensor {
+	c, h, w := imgs[0].Dim(0), imgs[0].Dim(1), imgs[0].Dim(2)
+	x := tensor.New(len(imgs), c, h, w)
+	per := c * h * w
+	for i, im := range imgs {
+		copy(x.Data[i*per:(i+1)*per], im.Data)
+	}
+	return x
+}
+
+func trainClassifier(g *nn.Graph, imgs []*tensor.Tensor, labels []int, epochs int) {
+	opt := nn.NewSGD(0.003, 0.9, 1e-4)
+	sched := nn.LRSchedule{Start: 0.003, End: 0.0003, Epochs: epochs}
+	params := g.Params()
+	for e := 0; e < epochs; e++ {
+		opt.LR = sched.At(e)
+		for lo := 0; lo < len(imgs); lo += 8 {
+			hi := min(lo+8, len(imgs))
+			x := stack(imgs[lo:hi])
+			out := g.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(out, labels[lo:hi])
+			g.Backward(grad)
+			nn.ClipGradNorm(params, 5)
+			opt.Step(params)
+		}
+	}
+}
+
+// Table7 reproduces the FPGA quantization-scheme selection: the trained
+// SkyNet is evaluated under the five Table 7 schemes. The paper's shape:
+// scheme 1 (FM9/W11) loses least; accuracy degrades as bits shrink, and
+// feature-map bits matter more than weight bits.
+func Table7(o Options) Table {
+	gen := dataset.NewGenerator(o.datasetConfig())
+	train := gen.DetectionSet(o.trainN())
+	val := gen.DetectionSet(o.valN())
+	rng := rand.New(rand.NewSource(o.seed()))
+	cfg := backbone.Config{Width: o.width(), InC: 3, HeadChannels: 10, ReLU6: true}
+	g := backbone.SkyNetC(rng, cfg)
+	head := detect.NewHead(nil)
+	o.logf("table7: training SkyNet C")
+	detect.TrainDetector(g, head, train, detect.TrainConfig{
+		Epochs:    o.epochs(),
+		BatchSize: 8,
+		LR:        nn.LRSchedule{Start: 0.01, End: 0.001, Epochs: o.epochs()},
+	})
+	t := Table{
+		ID:     "Table 7",
+		Title:  "Validation accuracy under FPGA quantization schemes",
+		Header: []string{"Scheme", "FM bits", "W bits", "IoU (ours)", "Paper IoU"},
+	}
+	paper := []float64{0.741, 0.727, 0.714, 0.690, 0.680}
+	for i, s := range quant.Table7Schemes {
+		var iou float64
+		quant.WithScheme(g, s, func() {
+			iou = detect.MeanIoU(g, head, val, 8)
+		})
+		fm, w := "float32", "float32"
+		if s.FMBits > 0 {
+			fm = f1(float64(s.FMBits))
+			w = f1(float64(s.WeightBits))
+		}
+		t.Rows = append(t.Rows, []string{s.String(), fm, w, f3(iou), f3(paper[i])})
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

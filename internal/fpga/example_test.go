@@ -1,0 +1,28 @@
+package fpga_test
+
+import (
+	"fmt"
+
+	"skynet/internal/fpga"
+)
+
+func ExampleDSPPerMult() {
+	// The Figure 2(c) cliff: at 16-bit feature maps, going from 15-bit to
+	// 14-bit weights halves the DSP cost per multiplier.
+	fmt.Println(fpga.DSPPerMult(15, 16), fpga.DSPPerMult(14, 16))
+	// Output: 2 1
+}
+
+func ExampleAutoConfig() {
+	// Size the shared Bundle IP "as large as possible" for the paper's
+	// chosen quantization (scheme 1: 11-bit weights, 9-bit feature maps).
+	ip := fpga.AutoConfig(fpga.Ultra96, 11, 9)
+	fmt.Printf("%dx%d = %d multipliers, %d DSPs\n", ip.Tm, ip.Tn, ip.Lanes(), ip.DSPCost())
+	// Output: 18x18 = 324 multipliers, 324 DSPs
+}
+
+func ExampleBRAMBlocks() {
+	// A 1024-deep, 18-bit-wide memory fits a single 18Kb block.
+	fmt.Println(fpga.BRAMBlocks(1024, 18))
+	// Output: 1
+}

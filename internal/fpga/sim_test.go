@@ -1,0 +1,138 @@
+package fpga
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"skynet/internal/backbone"
+	"skynet/internal/tensor"
+)
+
+func simSkyNet(t *testing.T, width float64, h, w int) (SimReport, Report) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := backbone.SkyNetC(rng, backbone.Config{Width: width, InC: 3, HeadChannels: 10, ReLU6: true})
+	x := tensor.New(1, 3, h, w)
+	x.RandUniform(rng, 0, 1)
+	g.Forward(x, false)
+	ip := AutoConfig(Ultra96, 11, 9)
+	return Simulate(g, Ultra96, ip), Estimate(g, Ultra96, ip)
+}
+
+func TestSimulateSkyNetFullSize(t *testing.T) {
+	sim, est := simSkyNet(t, 1, 160, 320)
+	if sim.TotalCycles <= 0 || sim.LatencyS <= 0 {
+		t.Fatal("empty simulation")
+	}
+	// 13 convolutional layers of SkyNet C.
+	if len(sim.Traces) != 13 {
+		t.Fatalf("traces %d, want 13", len(sim.Traces))
+	}
+	// The ideal tile schedule must be faster than (or equal to) the
+	// calibrated analytical estimate, but within the same order.
+	if sim.LatencyS > est.LatencyS {
+		t.Fatalf("simulated %.2fms exceeds calibrated estimate %.2fms",
+			sim.LatencyS*1e3, est.LatencyS*1e3)
+	}
+	if sim.LatencyS < est.LatencyS/5 {
+		t.Fatalf("simulated %.2fms implausibly far below estimate %.2fms",
+			sim.LatencyS*1e3, est.LatencyS*1e3)
+	}
+	// Cycle accounting must be self-consistent.
+	var prevEnd int64
+	for _, tr := range sim.Traces {
+		if tr.StartCycle != prevEnd {
+			t.Fatalf("layer %d starts at %d, previous ended at %d", tr.Index, tr.StartCycle, prevEnd)
+		}
+		if tr.Cycles() != tr.ComputeCycles+tr.FillCycles+tr.StallCycles {
+			t.Fatalf("layer %d cycle identity violated", tr.Index)
+		}
+		prevEnd = tr.EndCycle
+	}
+	if prevEnd != sim.TotalCycles {
+		t.Fatal("total cycles must equal the last layer's end")
+	}
+}
+
+func TestSimulateUtilizationProperties(t *testing.T) {
+	sim, _ := simSkyNet(t, 1, 160, 320)
+	var dwUtil, pwUtil float64
+	var dwN, pwN int
+	for _, tr := range sim.Traces {
+		if tr.Utilization <= 0 || tr.Utilization > 1+1e-9 {
+			t.Fatalf("layer %d utilization %v out of (0,1]", tr.Index, tr.Utilization)
+		}
+		if tr.Kind == KindDW {
+			dwUtil += tr.Utilization
+			dwN++
+		} else {
+			pwUtil += tr.Utilization
+			pwN++
+		}
+	}
+	// The diagonal mapping makes depth-wise layers far less efficient than
+	// point-wise ones — the structural reason a DW+PW Bundle must keep DW
+	// layers cheap.
+	if dwUtil/float64(dwN) >= pwUtil/float64(pwN) {
+		t.Fatalf("DW utilization %.3f should be below PW %.3f",
+			dwUtil/float64(dwN), pwUtil/float64(pwN))
+	}
+	if sim.AvgUtilization <= 0 || sim.AvgUtilization > 1 {
+		t.Fatalf("avg utilization %v", sim.AvgUtilization)
+	}
+}
+
+func TestSimulateMACConservation(t *testing.T) {
+	// The simulator must execute exactly the network's MACs.
+	rng := rand.New(rand.NewSource(2))
+	g := backbone.SkyNetC(rng, backbone.Config{Width: 0.25, InC: 3, HeadChannels: 10, ReLU6: true})
+	x := tensor.New(1, 3, 48, 96)
+	x.RandUniform(rng, 0, 1)
+	g.Forward(x, false)
+	macs, _ := g.Cost()
+	sim := Simulate(g, Ultra96, AutoConfig(Ultra96, 11, 9))
+	if sim.TotalMACs != macs {
+		t.Fatalf("simulated %d MACs, graph has %d", sim.TotalMACs, macs)
+	}
+}
+
+func TestSimulateLargerArrayIsFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := backbone.SkyNetC(rng, backbone.Config{Width: 0.25, InC: 3, HeadChannels: 10, ReLU6: true})
+	x := tensor.New(1, 3, 48, 96)
+	x.RandUniform(rng, 0, 1)
+	g.Forward(x, false)
+	small := Simulate(g, Ultra96, IPConfig{Tm: 4, Tn: 4, WBits: 11, FMBits: 9})
+	large := Simulate(g, Ultra96, IPConfig{Tm: 16, Tn: 16, WBits: 11, FMBits: 9})
+	if large.TotalCycles >= small.TotalCycles {
+		t.Fatalf("16x16 (%d cycles) must beat 4x4 (%d)", large.TotalCycles, small.TotalCycles)
+	}
+}
+
+func TestSimulateBatchReducesWeightStalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := backbone.SkyNetC(rng, backbone.Config{Width: 0.25, InC: 3, HeadChannels: 10, ReLU6: true})
+	x := tensor.New(1, 3, 24, 24)
+	x.RandUniform(rng, 0, 1)
+	g.Forward(x, false)
+	stalls := func(batch int) int64 {
+		sim := Simulate(g, Ultra96, IPConfig{Tm: 18, Tn: 18, WBits: 11, FMBits: 9, Batch: batch})
+		var s int64
+		for _, tr := range sim.Traces {
+			s += tr.StallCycles
+		}
+		return s
+	}
+	if stalls(4) > stalls(1) {
+		t.Fatal("batching must not increase weight-stream stalls")
+	}
+}
+
+func TestSimulateTimelineRenders(t *testing.T) {
+	sim, _ := simSkyNet(t, 0.25, 48, 96)
+	out := sim.Timeline()
+	if !strings.Contains(out, "dwconv[0]") || !strings.Contains(out, "total") {
+		t.Fatalf("timeline missing content:\n%s", out)
+	}
+}

@@ -1,0 +1,62 @@
+package fpga
+
+// This file models the batch + tiling scheme of Figure 9. The accelerator
+// streams feature maps through a strip (line) buffer of a few rows.
+// Batching images improves weight reuse — one weight load serves B images —
+// but, with separate per-image buffers, a batch of 4 needs 4 independently
+// allocated strip buffers. Stitching the 4 inputs as a 2×2 tile instead
+// widens the strip by 2× only (one dimension), so the stitched scheme keeps
+// the full weight reuse at half the buffer cost of separate batching, and
+// with a single contiguous allocation there is no per-image rounding waste.
+
+// TilingScheme identifies one buffering strategy of the Figure 9 study.
+type TilingScheme int
+
+// The three strategies compared in the Figure 9 experiment.
+const (
+	SchemeBatch1   TilingScheme = iota // no batching: weights reloaded per image
+	SchemeBatch4                       // batch of 4 with four separate strip buffers
+	SchemeTiled2x2                     // batch of 4 stitched into one 2×2 tile
+)
+
+// String names the scheme.
+func (s TilingScheme) String() string {
+	return [...]string{"batch=1", "batch=4 separate", "batch=4 tiled 2x2"}[s]
+}
+
+// TilingReport quantifies one scheme.
+type TilingReport struct {
+	Scheme TilingScheme
+	// BRAMBlocks is the strip-buffer cost (double-buffered).
+	BRAMBlocks int
+	// WeightLoadsPerImage is the number of times the full weight set
+	// crosses DDR per processed image.
+	WeightLoadsPerImage float64
+	// BufferWasteFrac is the fraction of allocated buffer capacity beyond
+	// what the feature-map strips actually occupy (bank rounding).
+	BufferWasteFrac float64
+}
+
+// EvaluateTiling computes the Figure 9 comparison for an accelerator whose
+// strip buffer holds stripWords feature-map elements per image at fmBits,
+// partitioned across `banks` BRAM banks.
+func EvaluateTiling(stripWords int64, fmBits, banks int) []TilingReport {
+	alloc := func(words int64, buffers int) (blocks int, waste float64) {
+		blocks = FMBufferBlocks(words, fmBits, banks) * 2 * buffers
+		capWords := int64(blocks) * 18 * 1024 / int64(fmBits)
+		need := 2 * words * int64(buffers)
+		if capWords > need {
+			waste = float64(capWords-need) / float64(capWords)
+		}
+		return blocks, waste
+	}
+	b1, w1 := alloc(stripWords, 1)
+	b4, w4 := alloc(stripWords, 4)
+	// The 2×2 stitch doubles the strip width: one buffer of 2× the words.
+	bt, wt := alloc(2*stripWords, 1)
+	return []TilingReport{
+		{Scheme: SchemeBatch1, BRAMBlocks: b1, WeightLoadsPerImage: 1, BufferWasteFrac: w1},
+		{Scheme: SchemeBatch4, BRAMBlocks: b4, WeightLoadsPerImage: 0.25, BufferWasteFrac: w4},
+		{Scheme: SchemeTiled2x2, BRAMBlocks: bt, WeightLoadsPerImage: 0.25, BufferWasteFrac: wt},
+	}
+}

@@ -1,0 +1,76 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// platformJSON is the serialized form of a Platform; field names match the
+// struct so user-authored files read naturally.
+type platformJSON struct {
+	Name              string  `json:"name"`
+	PeakGFLOPS        float64 `json:"peak_gflops"`
+	MemBWGBs          float64 `json:"mem_bw_gbs"`
+	FreqMHz           float64 `json:"freq_mhz"`
+	Efficiency        float64 `json:"efficiency"`
+	IdleW             float64 `json:"idle_w"`
+	LoadW             float64 `json:"load_w"`
+	OverheadMS        float64 `json:"overhead_ms"`
+	PerLayerOverheadU float64 `json:"per_layer_overhead_us"`
+}
+
+// LoadPlatform reads a custom platform descriptor from a JSON file, so
+// users can model hardware beyond the built-in TX2/1080Ti/FPGA set:
+//
+//	{"name": "Jetson Nano", "peak_gflops": 472, "mem_bw_gbs": 25.6,
+//	 "freq_mhz": 921, "efficiency": 0.12, "idle_w": 2, "load_w": 10,
+//	 "overhead_ms": 1.0}
+func LoadPlatform(path string) (Platform, error) {
+	var p Platform
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	var pj platformJSON
+	if err := json.Unmarshal(b, &pj); err != nil {
+		return p, fmt.Errorf("hw: parsing %s: %w", path, err)
+	}
+	if pj.PeakGFLOPS <= 0 || pj.MemBWGBs <= 0 {
+		return p, fmt.Errorf("hw: %s: peak_gflops and mem_bw_gbs must be positive", path)
+	}
+	if pj.Efficiency <= 0 || pj.Efficiency > 1 {
+		return p, fmt.Errorf("hw: %s: efficiency must be in (0,1]", path)
+	}
+	return Platform{
+		Name:              pj.Name,
+		PeakFLOPS:         pj.PeakGFLOPS * 1e9,
+		MemBW:             pj.MemBWGBs * 1e9,
+		FreqMHz:           pj.FreqMHz,
+		Efficiency:        pj.Efficiency,
+		IdleW:             pj.IdleW,
+		LoadW:             pj.LoadW,
+		OverheadS:         pj.OverheadMS / 1e3,
+		PerLayerOverheadS: pj.PerLayerOverheadU / 1e6,
+	}, nil
+}
+
+// SavePlatform writes a platform descriptor as JSON.
+func SavePlatform(path string, p Platform) error {
+	pj := platformJSON{
+		Name:              p.Name,
+		PeakGFLOPS:        p.PeakFLOPS / 1e9,
+		MemBWGBs:          p.MemBW / 1e9,
+		FreqMHz:           p.FreqMHz,
+		Efficiency:        p.Efficiency,
+		IdleW:             p.IdleW,
+		LoadW:             p.LoadW,
+		OverheadMS:        p.OverheadS * 1e3,
+		PerLayerOverheadU: p.PerLayerOverheadS * 1e6,
+	}
+	b, err := json.MarshalIndent(pj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,157 @@
+// Package hw models the embedded hardware targets of the paper: platform
+// descriptors for the NVIDIA TX2 and GTX 1080Ti GPUs and the Ultra96 and
+// Pynq-Z1 FPGAs, a roofline latency estimator driven by per-layer
+// MAC/byte costs, a utilization-based power/energy model, and the official
+// DAC-SDC scoring formulas (Equations 2–5) validated against the published
+// Table 5/6 results.
+package hw
+
+import (
+	"fmt"
+
+	"skynet/internal/nn"
+)
+
+// Platform describes one compute target. Peak numbers follow the paper
+// (§6.4: TX2 = 665 GFLOPS @1300MHz, Ultra96 = 144 GOPS @200MHz); the
+// efficiency factor captures the achievable fraction of peak for real
+// layer workloads (cuDNN/accelerator overheads).
+type Platform struct {
+	Name      string
+	PeakFLOPS float64 // floating/fixed point operations per second (2 per MAC)
+	MemBW     float64 // bytes per second
+	FreqMHz   float64
+	// Efficiency is the achievable fraction of PeakFLOPS on dense
+	// convolution workloads.
+	Efficiency float64
+	// IdleW/LoadW bound the power model: P = IdleW + util·(LoadW−IdleW).
+	IdleW, LoadW float64
+	// OverheadS is fixed per-inference launch/dispatch latency in seconds.
+	OverheadS float64
+	// PerLayerOverheadS is the per-kernel-launch framework cost, which
+	// dominates for deep networks of small layers (the reason ResNet-50
+	// trackers run far below their roofline on desktop GPUs).
+	PerLayerOverheadS float64
+}
+
+// The paper's platforms. TX2 and Ultra96 peaks are quoted in §6.4; memory
+// bandwidths are the parts' public specifications; efficiency, power
+// bounds and overheads are calibrated so the SkyNet design points land
+// near the published Table 5/6 operating points (see EXPERIMENTS.md).
+var (
+	// TX2's efficiency reflects cuDNN's poor utilization on depth-wise
+	// convolution workloads; it is calibrated so full-size SkyNet inference
+	// lands at the paper's measured ≈14.85 ms pipeline bottleneck.
+	TX2 = Platform{
+		Name: "NVIDIA TX2", PeakFLOPS: 665e9, MemBW: 59.7e9, FreqMHz: 1300,
+		Efficiency: 0.13, IdleW: 5.0, LoadW: 14.0, OverheadS: 0.0008,
+	}
+	GTX1080Ti = Platform{
+		Name: "GTX 1080Ti", PeakFLOPS: 11340e9, MemBW: 484e9, FreqMHz: 1582,
+		Efficiency: 0.45, IdleW: 55, LoadW: 250, OverheadS: 0.0035,
+		PerLayerOverheadS: 0.00025,
+	}
+	Ultra96 = Platform{
+		Name: "Ultra96 FPGA", PeakFLOPS: 144e9, MemBW: 4.3e9, FreqMHz: 200,
+		Efficiency: 0.75, IdleW: 4.5, LoadW: 7.5, OverheadS: 0.0015,
+	}
+	PynqZ1 = Platform{
+		Name: "Pynq-Z1 FPGA", PeakFLOPS: 54e9, MemBW: 2.1e9, FreqMHz: 142,
+		Efficiency: 0.7, IdleW: 1.8, LoadW: 4.2, OverheadS: 0.0020,
+	}
+)
+
+// Cost is the work of one layer (or network): multiply-accumulates and
+// bytes moved.
+type Cost struct {
+	MACs  int64
+	Bytes int64
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) { c.MACs += o.MACs; c.Bytes += o.Bytes }
+
+// GraphCosts extracts the per-layer costs recorded by a graph's most
+// recent Forward. Layers that do not implement nn.Coster (activations,
+// pooling) are folded into their producer's bandwidth term and skipped.
+func GraphCosts(g *nn.Graph) []Cost {
+	var costs []Cost
+	for _, n := range g.Nodes {
+		if c, ok := n.Layer.(nn.Coster); ok {
+			m, b := c.Cost()
+			costs = append(costs, Cost{MACs: m, Bytes: b})
+		}
+	}
+	return costs
+}
+
+// LayerLatency returns the roofline latency of one layer: the maximum of
+// its compute time and its memory time, so depth-wise convolutions (low
+// arithmetic intensity) are bandwidth-bound and point-wise convolutions
+// compute-bound — the balance SkyNet's Bundle exploits.
+func (p Platform) LayerLatency(c Cost) float64 {
+	compute := float64(2*c.MACs) / (p.PeakFLOPS * p.Efficiency)
+	memory := float64(c.Bytes) / p.MemBW
+	if compute > memory {
+		return compute
+	}
+	return memory
+}
+
+// NetLatency sums per-layer roofline latencies plus the platform's fixed
+// dispatch overhead, returning seconds.
+func (p Platform) NetLatency(costs []Cost) float64 {
+	total := p.OverheadS
+	for _, c := range costs {
+		total += p.LayerLatency(c)
+	}
+	return total
+}
+
+// GraphLatency estimates one-image inference latency for a graph whose
+// Forward has been run (shapes recorded), in seconds.
+func (p Platform) GraphLatency(g *nn.Graph) float64 {
+	return p.NetLatency(GraphCosts(g))
+}
+
+// Utilization returns the compute-side utilization of a workload: the
+// fraction of the roofline latency spent compute-bound.
+func (p Platform) Utilization(costs []Cost) float64 {
+	var compute, total float64
+	for _, c := range costs {
+		l := p.LayerLatency(c)
+		total += l
+		comp := float64(2*c.MACs) / (p.PeakFLOPS * p.Efficiency)
+		if comp > l {
+			comp = l
+		}
+		compute += comp
+	}
+	total += p.OverheadS
+	if total == 0 {
+		return 0
+	}
+	return compute / total
+}
+
+// Power returns the modeled power draw in watts at the given utilization.
+func (p Platform) Power(util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return p.IdleW + util*(p.LoadW-p.IdleW)
+}
+
+// EnergyPerImage returns joules per inference at the given latency and
+// utilization.
+func (p Platform) EnergyPerImage(latency, util float64) float64 {
+	return p.Power(util) * latency
+}
+
+// String implements fmt.Stringer.
+func (p Platform) String() string {
+	return fmt.Sprintf("%s (%.0f GOPS @%.0fMHz)", p.Name, p.PeakFLOPS/1e9, p.FreqMHz)
+}

@@ -1,0 +1,107 @@
+package hw
+
+import "math"
+
+// Entry is one DAC-SDC contest result row: accuracy, throughput and power
+// as evaluated by the organizers on the hidden 50k-image test set.
+type Entry struct {
+	Team   string
+	Year   int
+	IoU    float64
+	FPS    float64
+	PowerW float64
+	// PublishedTS, when non-zero, is the total score the contest reported,
+	// used for validating the scoring implementation.
+	PublishedTS float64
+}
+
+// EnergyPerImage returns the entry's energy per processed image in joules.
+// The contest's E_i is total energy over K images; since Equations 3–4 use
+// only energy ratios, the per-image form is equivalent.
+func (e Entry) EnergyPerImage() float64 { return e.PowerW / e.FPS }
+
+// EnergyScore implements Equation 4: ES_i = max(0, 1 + 0.2·log_x(Ē/E_i)),
+// with x = 10 for the GPU track and x = 2 for the FPGA track.
+func EnergyScore(meanEnergy, energy, x float64) float64 {
+	es := 1 + 0.2*math.Log(meanEnergy/energy)/math.Log(x)
+	if es < 0 {
+		return 0
+	}
+	return es
+}
+
+// TotalScore implements Equation 5: TS_i = R_IoU · (1 + ES_i).
+func TotalScore(iou, energyScore float64) float64 { return iou * (1 + energyScore) }
+
+// Score is a fully computed contest row.
+type Score struct {
+	Entry
+	EnergyJ float64
+	ES      float64
+	TS      float64
+}
+
+// ScoreEntries computes Equations 2–5 for a set of entries. meanEnergy is
+// Ē_I of Equation 3 — the average per-image energy over all I contest
+// entries. Only the top-3 per track were published, so pass 0 to average
+// over the given entries, or a calibrated value (CalibrateMeanEnergy) to
+// reproduce the official scores exactly.
+func ScoreEntries(entries []Entry, x, meanEnergy float64) []Score {
+	if meanEnergy <= 0 {
+		var sum float64
+		for _, e := range entries {
+			sum += e.EnergyPerImage()
+		}
+		meanEnergy = sum / float64(len(entries))
+	}
+	scores := make([]Score, len(entries))
+	for i, e := range entries {
+		energy := e.EnergyPerImage()
+		es := EnergyScore(meanEnergy, energy, x)
+		scores[i] = Score{Entry: e, EnergyJ: energy, ES: es, TS: TotalScore(e.IoU, es)}
+	}
+	return scores
+}
+
+// CalibrateMeanEnergy inverts Equations 4–5 to recover the contest-wide
+// mean energy Ē_I from one entry's published total score — the population
+// average is not public, but any single published (IoU, FPS, Power, TS)
+// row determines it.
+func CalibrateMeanEnergy(e Entry, x float64) float64 {
+	es := e.PublishedTS/e.IoU - 1
+	return e.EnergyPerImage() * math.Pow(x, (es-1)/0.2)
+}
+
+// Track exponents for Equation 4.
+const (
+	GPUTrackX  = 10
+	FPGATrackX = 2
+)
+
+// Published DAC-SDC results (Tables 5 and 6). The SkyNet rows are the
+// paper's own measured results; the harness reproduces the SkyNet IoU/FPS
+// columns from our simulators and re-derives every score.
+var (
+	// Table 5: GPU track on a TX2, hidden 50k test set.
+	GPU2019 = []Entry{
+		{Team: "SkyNet", Year: 2019, IoU: 0.731, FPS: 67.33, PowerW: 13.50, PublishedTS: 1.504},
+		{Team: "Thinker", Year: 2019, IoU: 0.713, FPS: 28.79, PowerW: 8.55, PublishedTS: 1.442},
+		{Team: "DeepZS", Year: 2019, IoU: 0.723, FPS: 26.37, PowerW: 15.12, PublishedTS: 1.422},
+	}
+	GPU2018 = []Entry{
+		{Team: "ICT-CAS", Year: 2018, IoU: 0.698, FPS: 24.55, PowerW: 12.58, PublishedTS: 1.373},
+		{Team: "DeepZ", Year: 2018, IoU: 0.691, FPS: 25.30, PowerW: 13.27, PublishedTS: 1.359},
+		{Team: "SDU-Legend", Year: 2018, IoU: 0.685, FPS: 23.64, PowerW: 10.31, PublishedTS: 1.358},
+	}
+	// Table 6: FPGA track (2019 on Ultra96, 2018 on Pynq-Z1).
+	FPGA2019 = []Entry{
+		{Team: "SkyNet", Year: 2019, IoU: 0.716, FPS: 25.05, PowerW: 7.26, PublishedTS: 1.526},
+		{Team: "XJTU Tripler", Year: 2019, IoU: 0.615, FPS: 50.91, PowerW: 9.25, PublishedTS: 1.394},
+		{Team: "SystemsETHZ", Year: 2019, IoU: 0.553, FPS: 55.13, PowerW: 6.69, PublishedTS: 1.318},
+	}
+	FPGA2018 = []Entry{
+		{Team: "TGIIF", Year: 2018, IoU: 0.624, FPS: 11.96, PowerW: 4.20, PublishedTS: 1.267},
+		{Team: "SystemsETHZ", Year: 2018, IoU: 0.492, FPS: 25.97, PowerW: 2.45, PublishedTS: 1.179},
+		{Team: "iSmart2", Year: 2018, IoU: 0.573, FPS: 7.35, PowerW: 2.59, PublishedTS: 1.164},
+	}
+)

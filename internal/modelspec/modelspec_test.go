@@ -1,0 +1,121 @@
+package modelspec
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"skynet/internal/tensor"
+)
+
+func TestSpecBuildFamilies(t *testing.T) {
+	for _, family := range []string{"skynet", "resnet18", "resnet34", "resnet50",
+		"vgg16", "mobilenet", "alexnet-features"} {
+		s := DefaultSpec()
+		s.Family = family
+		s.Width = 0.125
+		s.MaxStride = 8
+		g, head, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if g == nil || head == nil {
+			t.Fatalf("%s: nil graph or head", family)
+		}
+		x := tensor.New(1, 3, 48, 96)
+		out := g.Forward(x, false)
+		if out.Dim(1) != head.Channels() {
+			t.Fatalf("%s: output channels %d, head expects %d", family, out.Dim(1), head.Channels())
+		}
+	}
+}
+
+func TestSpecBuildRejectsUnknown(t *testing.T) {
+	s := DefaultSpec()
+	s.Family = "nonsense"
+	if _, _, err := s.Build(); err == nil {
+		t.Fatal("unknown family must error")
+	}
+	s = DefaultSpec()
+	s.Variant = "Z"
+	if _, _, err := s.Build(); err == nil {
+		t.Fatal("unknown variant must error")
+	}
+}
+
+func TestSpecClassHead(t *testing.T) {
+	s := DefaultSpec()
+	s.Classes = 12
+	g, head, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Classes != 12 {
+		t.Fatalf("head classes %d", head.Classes)
+	}
+	x := tensor.New(1, 3, 16, 16)
+	out := g.Forward(x, false)
+	if out.Dim(1) != head.Channels() {
+		t.Fatalf("class-head output channels %d, want %d", out.Dim(1), head.Channels())
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	s := DefaultSpec()
+	s.Width = 0.5
+	s.Classes = 3
+	if err := SaveSpec(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, s)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	s := DefaultSpec()
+	s.Width = 0.125
+	g, _, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the weights so defaults cannot accidentally pass.
+	rng := rand.New(rand.NewSource(9))
+	for _, p := range g.Params() {
+		p.W.RandNormal(rng, 0, 0.1)
+	}
+	x := tensor.New(1, 3, 16, 16)
+	x.RandUniform(rng, 0, 1)
+	want := g.Forward(x, false).Clone()
+
+	if err := SaveCheckpoint(path, s, g); err != nil {
+		t.Fatal(err)
+	}
+	s2, g2, head2, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s || head2 == nil {
+		t.Fatalf("checkpoint spec mismatch: %+v", s2)
+	}
+	got := g2.Forward(x, false)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("restored model output differs")
+		}
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	if _, _, _, err := LoadCheckpoint("/nonexistent/path.ckpt"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,93 @@
+package nn
+
+import "skynet/internal/tensor"
+
+// ReLU is the rectified linear activation max(0, x). When Cap > 0 the
+// output is additionally clipped to [0, Cap]; NewReLU6 uses Cap = 6, the
+// activation the paper adopts because its bounded range lets intermediate
+// feature maps be represented with fewer bits on embedded hardware (§5.2).
+type ReLU struct {
+	Cap  float32 // 0 means unbounded
+	mask []uint8 // 1 where the gradient passes through
+}
+
+// NewReLU returns an unbounded rectifier.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// NewReLU6 returns the ReLU6 activation, clip(x, 0, 6).
+func NewReLU6() *ReLU { return &ReLU{Cap: 6} }
+
+func (r *ReLU) Name() string {
+	if r.Cap > 0 {
+		return "relu6"
+	}
+	return "relu"
+}
+
+func (r *ReLU) Params() []*Param { return nil }
+
+func (r *ReLU) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	x := one(xs, r.Name())
+	out := x.Clone()
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]uint8, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	for i, v := range out.Data {
+		switch {
+		case v <= 0:
+			out.Data[i] = 0
+			r.mask[i] = 0
+		case r.Cap > 0 && v >= r.Cap:
+			out.Data[i] = r.Cap
+			r.mask[i] = 0
+		default:
+			r.mask[i] = 1
+		}
+	}
+	return out
+}
+
+func (r *ReLU) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if r.mask[i] == 0 {
+			dx.Data[i] = 0
+		}
+	}
+	return []*tensor.Tensor{dx}
+}
+
+// LeakyReLU is max(alpha*x, x), used by the YOLO-style baseline heads.
+type LeakyReLU struct {
+	Alpha float32
+	x     *tensor.Tensor
+}
+
+// NewLeakyReLU returns a leaky rectifier with the given negative slope.
+func NewLeakyReLU(alpha float32) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+func (l *LeakyReLU) Name() string     { return "leakyrelu" }
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+func (l *LeakyReLU) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	x := one(xs, "leakyrelu")
+	l.x = x
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = l.Alpha * v
+		}
+	}
+	return out
+}
+
+func (l *LeakyReLU) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	dx := dout.Clone()
+	for i, v := range l.x.Data {
+		if v < 0 {
+			dx.Data[i] *= l.Alpha
+		}
+	}
+	return []*tensor.Tensor{dx}
+}

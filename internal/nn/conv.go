@@ -1,0 +1,284 @@
+package nn
+
+import (
+	"math/rand"
+
+	"skynet/internal/tensor"
+)
+
+// Conv2D is a standard 2-D convolution over [N,C,H,W] inputs, lowered to
+// matrix multiplication via im2col. Weights have logical shape
+// [OutC, InC, K, K] and are stored flattened as [OutC, InC*K*K].
+type Conv2D struct {
+	InC, OutC  int
+	K          int // square kernel size
+	Stride     int
+	Pad        int
+	UseBias    bool
+	Weight     *Param // [OutC, InC*K*K]
+	Bias       *Param // [OutC], nil unless UseBias
+	label      string
+	x          *tensor.Tensor // cached input
+	col        *tensor.Tensor // scratch im2col buffer, reused across calls
+	outH, outW int
+	lastN      int
+}
+
+// NewConv2D constructs a convolution with He-initialized weights.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int, bias bool) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, UseBias: bias,
+		label: "conv", Weight: NewParam("weight", outC, inC*k*k)}
+	c.Weight.W.HeInit(rng, inC*k*k)
+	if bias {
+		c.Bias = NewParam("bias", outC)
+	}
+	return c
+}
+
+// NewPWConv1 constructs the paper's point-wise 1×1 convolution
+// (PW-Conv1), a Conv2D with kernel 1, stride 1 and no padding.
+func NewPWConv1(rng *rand.Rand, inC, outC int, bias bool) *Conv2D {
+	c := NewConv2D(rng, inC, outC, 1, 1, 0, bias)
+	c.label = "pwconv1"
+	return c
+}
+
+func (c *Conv2D) Name() string { return c.label }
+
+func (c *Conv2D) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+func (c *Conv2D) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	x := one(xs, c.label)
+	expect4D(x, c.InC, c.label)
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	c.outH = tensor.ConvOut(h, c.K, c.Stride, c.Pad)
+	c.outW = tensor.ConvOut(w, c.K, c.Stride, c.Pad)
+	c.x = x
+	c.lastN = n
+	rows, cols := c.InC*c.K*c.K, c.outH*c.outW
+	if c.col == nil || c.col.Dim(0) != rows || c.col.Dim(1) != cols {
+		c.col = tensor.New(rows, cols)
+	}
+	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	perImg := c.OutC * cols
+	if workersFor(n) > 1 {
+		// Data-parallel over the batch with per-goroutine im2col buffers.
+		cols2 := cols
+		parallelFor(n, func(i int) {
+			col := tensor.New(rows, cols2)
+			img := tensor.FromSlice(x.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], c.InC, h, w)
+			tensor.Im2Col(col, img, c.K, c.K, c.Stride, c.Pad)
+			om := tensor.FromSlice(out.Data[i*perImg:(i+1)*perImg], c.OutC, cols2)
+			tensor.MatMulInto(om, c.Weight.W, col)
+		})
+	} else {
+		for i := 0; i < n; i++ {
+			img := tensor.FromSlice(x.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], c.InC, h, w)
+			tensor.Im2Col(c.col, img, c.K, c.K, c.Stride, c.Pad)
+			om := tensor.FromSlice(out.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
+			tensor.MatMulInto(om, c.Weight.W, c.col)
+		}
+	}
+	if c.Bias != nil {
+		b := c.Bias.W.Data
+		for i := 0; i < n; i++ {
+			for o := 0; o < c.OutC; o++ {
+				base := (i*c.OutC + o) * cols
+				bv := b[o]
+				for j := 0; j < cols; j++ {
+					out.Data[base+j] += bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *Conv2D) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	n := c.lastN
+	h, w := c.x.Dim(2), c.x.Dim(3)
+	cols := c.outH * c.outW
+	rows := c.InC * c.K * c.K
+	dx := tensor.New(n, c.InC, h, w)
+	dcol := tensor.New(rows, cols)
+	dimg := tensor.New(c.InC, h, w)
+	perImg := c.OutC * cols
+	for i := 0; i < n; i++ {
+		img := tensor.FromSlice(c.x.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], c.InC, h, w)
+		tensor.Im2Col(c.col, img, c.K, c.K, c.Stride, c.Pad)
+		dm := tensor.FromSlice(dout.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
+		// dW += dout · colᵀ
+		tensor.MatMulTransposeBAddInto(c.Weight.G, dm, c.col)
+		// dcol = Wᵀ · dout
+		tensor.MatMulTransposeAInto(dcol, c.Weight.W, dm)
+		tensor.Col2Im(dimg, dcol, c.K, c.K, c.Stride, c.Pad)
+		copy(dx.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], dimg.Data)
+	}
+	if c.Bias != nil {
+		for i := 0; i < n; i++ {
+			for o := 0; o < c.OutC; o++ {
+				base := (i*c.OutC + o) * cols
+				var s float32
+				for j := 0; j < cols; j++ {
+					s += dout.Data[base+j]
+				}
+				c.Bias.G.Data[o] += s
+			}
+		}
+	}
+	return []*tensor.Tensor{dx}
+}
+
+// Cost reports MACs and bytes moved for the most recent forward pass.
+func (c *Conv2D) Cost() (macs, bytes int64) {
+	spatial := int64(c.outH) * int64(c.outW)
+	macs = int64(c.lastN) * int64(c.OutC) * int64(c.InC) * int64(c.K*c.K) * spatial
+	wBytes := int64(c.Weight.W.Len()) * 4
+	inBytes := int64(c.lastN*c.InC) * int64(c.x.Dim(2)*c.x.Dim(3)) * 4
+	outBytes := int64(c.lastN*c.OutC) * spatial * 4
+	return macs, wBytes + inBytes + outBytes
+}
+
+// DWConv3 is the paper's 3×3 depth-wise convolution (DW-Conv3): each input
+// channel is convolved with its own K×K filter, stride 1, "same" padding.
+// Weights have shape [C, K, K]. This is the compute-saving building block
+// of the SkyNet Bundle (Howard et al., 2017).
+type DWConv3 struct {
+	C       int
+	K       int
+	Stride  int
+	Pad     int
+	UseBias bool
+	Weight  *Param // [C, K, K]
+	Bias    *Param // [C]
+	x       *tensor.Tensor
+	outH    int
+	outW    int
+}
+
+// NewDWConv3 constructs a depth-wise convolution with He initialization.
+// Stride is 1 and padding is K/2 ("same"), matching the SkyNet Bundle.
+func NewDWConv3(rng *rand.Rand, c, k int, bias bool) *DWConv3 {
+	d := &DWConv3{C: c, K: k, Stride: 1, Pad: k / 2, UseBias: bias,
+		Weight: NewParam("weight", c, k, k)}
+	d.Weight.W.HeInit(rng, k*k)
+	if bias {
+		d.Bias = NewParam("bias", c)
+	}
+	return d
+}
+
+func (d *DWConv3) Name() string { return "dwconv3" }
+
+func (d *DWConv3) Params() []*Param {
+	if d.Bias != nil {
+		return []*Param{d.Weight, d.Bias}
+	}
+	return []*Param{d.Weight}
+}
+
+func (d *DWConv3) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	x := one(xs, "dwconv3")
+	expect4D(x, d.C, "dwconv3")
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	d.outH = tensor.ConvOut(h, d.K, d.Stride, d.Pad)
+	d.outW = tensor.ConvOut(w, d.K, d.Stride, d.Pad)
+	d.x = x
+	out := tensor.New(n, d.C, d.outH, d.outW)
+	// Each (image, channel) plane is independent — parallelize the product.
+	parallelFor(n*d.C, func(idx int) {
+		ch := idx % d.C
+		in := x.Data[idx*h*w:]
+		ob := out.Data[idx*d.outH*d.outW:]
+		ker := d.Weight.W.Data[ch*d.K*d.K:]
+		var bias float32
+		if d.Bias != nil {
+			bias = d.Bias.W.Data[ch]
+		}
+		oi := 0
+		for oy := 0; oy < d.outH; oy++ {
+			for ox := 0; ox < d.outW; ox++ {
+				s := bias
+				for ky := 0; ky < d.K; ky++ {
+					iy := oy*d.Stride - d.Pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < d.K; kx++ {
+						ix := ox*d.Stride - d.Pad + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						s += in[iy*w+ix] * ker[ky*d.K+kx]
+					}
+				}
+				ob[oi] = s
+				oi++
+			}
+		}
+	})
+	return out
+}
+
+func (d *DWConv3) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	x := d.x
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	dx := tensor.New(n, d.C, h, w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < d.C; ch++ {
+			in := x.Data[(i*d.C+ch)*h*w:]
+			dob := dout.Data[(i*d.C+ch)*d.outH*d.outW:]
+			dxb := dx.Data[(i*d.C+ch)*h*w:]
+			ker := d.Weight.W.Data[ch*d.K*d.K:]
+			dker := d.Weight.G.Data[ch*d.K*d.K:]
+			oi := 0
+			for oy := 0; oy < d.outH; oy++ {
+				for ox := 0; ox < d.outW; ox++ {
+					g := dob[oi]
+					oi++
+					if g == 0 {
+						continue
+					}
+					for ky := 0; ky < d.K; ky++ {
+						iy := oy*d.Stride - d.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < d.K; kx++ {
+							ix := ox*d.Stride - d.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dker[ky*d.K+kx] += g * in[iy*w+ix]
+							dxb[iy*w+ix] += g * ker[ky*d.K+kx]
+						}
+					}
+				}
+			}
+			if d.Bias != nil {
+				var s float32
+				for _, g := range dout.Data[(i*d.C+ch)*d.outH*d.outW : (i*d.C+ch+1)*d.outH*d.outW] {
+					s += g
+				}
+				d.Bias.G.Data[ch] += s
+			}
+		}
+	}
+	return []*tensor.Tensor{dx}
+}
+
+// Cost reports MACs and bytes moved for the most recent forward pass.
+func (d *DWConv3) Cost() (macs, bytes int64) {
+	spatial := int64(d.outH) * int64(d.outW)
+	n := int64(d.x.Dim(0))
+	macs = n * int64(d.C) * int64(d.K*d.K) * spatial
+	wBytes := int64(d.Weight.W.Len()) * 4
+	inBytes := n * int64(d.C) * int64(d.x.Dim(2)*d.x.Dim(3)) * 4
+	outBytes := n * int64(d.C) * spatial * 4
+	return macs, wBytes + inBytes + outBytes
+}

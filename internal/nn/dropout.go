@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math/rand"
+
+	"skynet/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P during training and
+// scales the survivors by 1/(1-P) (inverted dropout), passing inputs
+// through unchanged in eval mode. AlexNet's fully-connected layers use it
+// (Krizhevsky et al., 2012); compact backbones like SkyNet do not need it.
+type Dropout struct {
+	P         float64
+	rng       *rand.Rand
+	mask      []uint8
+	lastTrain bool
+}
+
+// NewDropout returns a dropout layer with drop probability p.
+func NewDropout(seed int64, p float64) *Dropout {
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (d *Dropout) Name() string     { return "dropout" }
+func (d *Dropout) Params() []*Param { return nil }
+
+func (d *Dropout) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	x := one(xs, "dropout")
+	d.lastTrain = train && d.P > 0
+	if !d.lastTrain {
+		// Mark the whole mask as pass-through for a subsequent Backward.
+		if cap(d.mask) < x.Len() {
+			d.mask = make([]uint8, x.Len())
+		}
+		d.mask = d.mask[:x.Len()]
+		for i := range d.mask {
+			d.mask[i] = 1
+		}
+		return x.Clone()
+	}
+	out := x.Clone()
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]uint8, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	scale := float32(1 / (1 - d.P))
+	for i := range out.Data {
+		if d.rng.Float64() < d.P {
+			out.Data[i] = 0
+			d.mask[i] = 0
+		} else {
+			out.Data[i] *= scale
+			d.mask[i] = 1
+		}
+	}
+	return out
+}
+
+func (d *Dropout) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	dx := dout.Clone()
+	if !d.lastTrain {
+		return []*tensor.Tensor{dx}
+	}
+	scale := float32(1 / (1 - d.P))
+	for i := range dx.Data {
+		if d.mask[i] == 0 {
+			dx.Data[i] = 0
+		} else {
+			dx.Data[i] *= scale
+		}
+	}
+	return []*tensor.Tensor{dx}
+}

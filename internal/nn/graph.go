@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+
+	"skynet/internal/tensor"
+)
+
+// GraphInput is the pseudo-index denoting the graph's external input when
+// used in a node's input list.
+const GraphInput = -1
+
+// Node is one layer in a Graph together with the indices of the nodes that
+// feed it (GraphInput for the external input).
+type Node struct {
+	Layer  Layer
+	Inputs []int
+}
+
+// Graph is a single-input, single-output DAG of layers in topological
+// (insertion) order. It covers both plain chains (Sequential networks) and
+// the bypass topology of SkyNet models B/C. Forward caches every node
+// output so Backward can route gradients; FMHook, when set, is applied to
+// every intermediate feature map — the quantization package uses it to
+// emulate fixed-point inference.
+type Graph struct {
+	Nodes []*Node
+	// Output is the index of the node whose output is the graph output.
+	// Defaults to the last node.
+	Output int
+	// FMHook, if non-nil, is invoked on each node's output tensor during
+	// Forward (e.g. to quantize feature maps in place).
+	FMHook func(nodeIdx int, t *tensor.Tensor)
+	// OutShapes records each node's output shape from the last Forward,
+	// for hardware cost models.
+	OutShapes [][]int
+
+	outs []*tensor.Tensor
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{Output: -1} }
+
+// Add appends a layer fed by the given node indices (GraphInput for the
+// external input) and returns the new node's index.
+func (g *Graph) Add(l Layer, inputs ...int) int {
+	if len(inputs) == 0 {
+		// Default: chain from the previous node, or the graph input.
+		if len(g.Nodes) == 0 {
+			inputs = []int{GraphInput}
+		} else {
+			inputs = []int{len(g.Nodes) - 1}
+		}
+	}
+	for _, in := range inputs {
+		if in != GraphInput && (in < 0 || in >= len(g.Nodes)) {
+			panic(fmt.Sprintf("nn: graph input index %d out of range", in))
+		}
+	}
+	g.Nodes = append(g.Nodes, &Node{Layer: l, Inputs: inputs})
+	return len(g.Nodes) - 1
+}
+
+func (g *Graph) output() int {
+	if g.Output >= 0 {
+		return g.Output
+	}
+	return len(g.Nodes) - 1
+}
+
+// Forward runs the whole graph on x and returns the output node's tensor.
+func (g *Graph) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(g.Nodes) == 0 {
+		panic("nn: forward on empty graph")
+	}
+	if cap(g.outs) < len(g.Nodes) {
+		g.outs = make([]*tensor.Tensor, len(g.Nodes))
+	}
+	g.outs = g.outs[:len(g.Nodes)]
+	if g.OutShapes == nil {
+		g.OutShapes = make([][]int, len(g.Nodes))
+	}
+	ins := make([]*tensor.Tensor, 0, 2)
+	for i, n := range g.Nodes {
+		ins = ins[:0]
+		for _, j := range n.Inputs {
+			if j == GraphInput {
+				ins = append(ins, x)
+			} else {
+				ins = append(ins, g.outs[j])
+			}
+		}
+		out := n.Layer.Forward(ins, train)
+		if g.FMHook != nil {
+			g.FMHook(i, out)
+		}
+		g.outs[i] = out
+		g.OutShapes[i] = out.Shape()
+	}
+	return g.outs[g.output()]
+}
+
+// Backward propagates dout (gradient w.r.t. the graph output) through every
+// node in reverse order, accumulating parameter gradients, and returns the
+// gradient with respect to the graph input.
+func (g *Graph) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	grads := make([]*tensor.Tensor, len(g.Nodes))
+	grads[g.output()] = dout
+	var dinput *tensor.Tensor
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		if grads[i] == nil {
+			continue // node does not feed the output
+		}
+		dins := g.Nodes[i].Layer.Backward(grads[i])
+		if len(dins) != len(g.Nodes[i].Inputs) {
+			panic(fmt.Sprintf("nn: layer %s returned %d input grads for %d inputs",
+				g.Nodes[i].Layer.Name(), len(dins), len(g.Nodes[i].Inputs)))
+		}
+		for k, j := range g.Nodes[i].Inputs {
+			if j == GraphInput {
+				if dinput == nil {
+					dinput = dins[k]
+				} else {
+					dinput.AddInPlace(dins[k])
+				}
+			} else if grads[j] == nil {
+				grads[j] = dins[k]
+			} else {
+				grads[j].AddInPlace(dins[k])
+			}
+		}
+	}
+	return dinput
+}
+
+// Params returns all learnable parameters of the graph.
+func (g *Graph) Params() []*Param {
+	var ps []*Param
+	for _, n := range g.Nodes {
+		ps = append(ps, n.Layer.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears every parameter gradient.
+func (g *Graph) ZeroGrads() {
+	for _, p := range g.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of learnable scalar parameters.
+func (g *Graph) NumParams() int64 {
+	var n int64
+	for _, p := range g.Params() {
+		n += int64(p.W.Len())
+	}
+	return n
+}
+
+// ParamBytes returns the float32 model size in bytes.
+func (g *Graph) ParamBytes() int64 { return g.NumParams() * 4 }
+
+// Cost sums the Cost of every node that implements Coster, reporting the
+// total MACs and bytes of the most recent Forward.
+func (g *Graph) Cost() (macs, bytes int64) {
+	for _, n := range g.Nodes {
+		if c, ok := n.Layer.(Coster); ok {
+			m, b := c.Cost()
+			macs += m
+			bytes += b
+		}
+	}
+	return macs, bytes
+}
+
+// Sequential builds a chain graph from the given layers.
+func Sequential(layers ...Layer) *Graph {
+	g := NewGraph()
+	for _, l := range layers {
+		g.Add(l)
+	}
+	return g
+}

@@ -1,0 +1,80 @@
+// Package nn implements the neural-network layers, containers, losses and
+// optimizers used throughout the SkyNet reproduction: standard, depth-wise
+// and point-wise convolutions, batch normalization, the ReLU family
+// (including the ReLU6 activation the paper adopts for hardware efficiency),
+// max pooling, channel concatenation and the feature-map reordering
+// (space-to-depth) operation of Figure 5, plus SGD training and gob-based
+// model serialization.
+//
+// Every layer implements full forward and backward passes so that networks
+// are trained for real; gradients are validated against finite differences
+// in the test suite. The Backward convention is: gradients accumulate into
+// Param.G, and one Backward must follow each Forward in LIFO order (the
+// Graph container enforces this).
+package nn
+
+import (
+	"fmt"
+
+	"skynet/internal/tensor"
+)
+
+// Param is a learnable tensor together with its accumulated gradient.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+// NewParam allocates a parameter and its gradient with the given shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), G: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Layer is a differentiable network building block. Forward consumes one or
+// more input tensors (most layers take exactly one) and produces one output.
+// Backward consumes the gradient of the loss with respect to that output and
+// returns the gradients with respect to each input, accumulating parameter
+// gradients into Params() along the way. Layers cache whatever they need
+// from the most recent Forward, so calls must be paired Forward→Backward.
+type Layer interface {
+	// Name returns a short human-readable identifier (e.g. "conv3x3").
+	Name() string
+	// Forward runs the layer. train selects training behaviour for layers
+	// with train/eval modes (BatchNorm).
+	Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates dout to the layer inputs, accumulating parameter
+	// gradients.
+	Backward(dout *tensor.Tensor) []*tensor.Tensor
+	// Params returns the learnable parameters (possibly none).
+	Params() []*Param
+}
+
+// Coster is implemented by layers that can report their computational cost
+// for hardware modeling. The counts refer to the most recent Forward.
+type Coster interface {
+	// Cost returns multiply-accumulate operation count and the number of
+	// parameter + activation bytes moved, for one forward pass at the most
+	// recently seen input size.
+	Cost() (macs, bytes int64)
+}
+
+func one(xs []*tensor.Tensor, name string) *tensor.Tensor {
+	if len(xs) != 1 {
+		panic(fmt.Sprintf("nn: layer %s expects exactly 1 input, got %d", name, len(xs)))
+	}
+	return xs[0]
+}
+
+// expect4D validates an [N,C,H,W] input with the given channel count.
+func expect4D(x *tensor.Tensor, wantC int, name string) {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: layer %s expects [N,C,H,W] input, got shape %v", name, x.Shape()))
+	}
+	if wantC > 0 && x.Dim(1) != wantC {
+		panic(fmt.Sprintf("nn: layer %s expects %d input channels, got %d", name, wantC, x.Dim(1)))
+	}
+}

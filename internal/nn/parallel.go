@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxParallelism caps the worker count used by data-parallel layer loops;
+// 0 (default) uses GOMAXPROCS. Exposed so benchmarks and tests can pin it.
+var MaxParallelism = 0
+
+func workersFor(n int) int {
+	w := MaxParallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for i in [0,n) across workersFor(n) goroutines,
+// splitting the range into contiguous chunks. With one worker it degrades
+// to a plain loop (no goroutine overhead). fn must not share mutable state
+// across indices.
+func parallelFor(n int, fn func(i int)) {
+	w := workersFor(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

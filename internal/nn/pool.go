@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"skynet/internal/tensor"
+)
+
+// MaxPool is a K×K max pooling with stride K (non-overlapping), the 2×2
+// pooling used between SkyNet Bundles. Inputs whose spatial size is not a
+// multiple of K are cropped at the bottom/right edge, matching the common
+// floor-mode convention.
+type MaxPool struct {
+	K      int
+	argmax []int32 // flat input index of each output's max
+	inShp  []int
+	outH   int
+	outW   int
+}
+
+// NewMaxPool returns a K×K/stride-K max-pool layer.
+func NewMaxPool(k int) *MaxPool { return &MaxPool{K: k} }
+
+func (m *MaxPool) Name() string     { return "maxpool" }
+func (m *MaxPool) Params() []*Param { return nil }
+
+func (m *MaxPool) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	x := one(xs, "maxpool")
+	expect4D(x, 0, "maxpool")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	m.inShp = x.Shape()
+	m.outH, m.outW = h/m.K, w/m.K
+	out := tensor.New(n, c, m.outH, m.outW)
+	if cap(m.argmax) < out.Len() {
+		m.argmax = make([]int32, out.Len())
+	}
+	m.argmax = m.argmax[:out.Len()]
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			for oy := 0; oy < m.outH; oy++ {
+				for ox := 0; ox < m.outW; ox++ {
+					// Initialize from the first window element so that the
+					// index is always valid, even for NaN inputs.
+					bestIdx := int32(base + oy*m.K*w + ox*m.K)
+					best := x.Data[bestIdx]
+					for ky := 0; ky < m.K; ky++ {
+						rowBase := base + (oy*m.K+ky)*w + ox*m.K
+						for kx := 0; kx < m.K; kx++ {
+							if v := x.Data[rowBase+kx]; v > best {
+								best = v
+								bestIdx = int32(rowBase + kx)
+							}
+						}
+					}
+					out.Data[oi] = best
+					m.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (m *MaxPool) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	dx := tensor.New(m.inShp...)
+	for oi, idx := range m.argmax {
+		dx.Data[idx] += dout.Data[oi]
+	}
+	return []*tensor.Tensor{dx}
+}
+
+// GlobalAvgPool reduces each [N,C,H,W] channel plane to its mean, producing
+// [N,C,1,1]. Used by the ResNet baselines before their classifier layer.
+type GlobalAvgPool struct {
+	inShp []int
+}
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+func (g *GlobalAvgPool) Name() string     { return "gavgpool" }
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+func (g *GlobalAvgPool) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	x := one(xs, "gavgpool")
+	expect4D(x, 0, "gavgpool")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.inShp = x.Shape()
+	out := tensor.New(n, c, 1, 1)
+	hw := h * w
+	for i := 0; i < n*c; i++ {
+		var s float32
+		for j := 0; j < hw; j++ {
+			s += x.Data[i*hw+j]
+		}
+		out.Data[i] = s / float32(hw)
+	}
+	return out
+}
+
+func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	n, c, h, w := g.inShp[0], g.inShp[1], g.inShp[2], g.inShp[3]
+	dx := tensor.New(n, c, h, w)
+	hw := h * w
+	inv := 1 / float32(hw)
+	for i := 0; i < n*c; i++ {
+		gv := dout.Data[i] * inv
+		for j := 0; j < hw; j++ {
+			dx.Data[i*hw+j] = gv
+		}
+	}
+	return []*tensor.Tensor{dx}
+}

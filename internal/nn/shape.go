@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+
+	"skynet/internal/tensor"
+)
+
+// Concat concatenates its inputs along the channel dimension. SkyNet models
+// B and C use it to merge the reordered Bundle-3 bypass with the Bundle-5
+// output before the final Bundle (Figure 4).
+type Concat struct {
+	splits []int // channel count of each input from the last forward
+	n      int
+	h, w   int
+}
+
+// NewConcat returns a channel-concatenation layer.
+func NewConcat() *Concat { return &Concat{} }
+
+func (c *Concat) Name() string     { return "concat" }
+func (c *Concat) Params() []*Param { return nil }
+
+func (c *Concat) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	if len(xs) < 2 {
+		panic("nn: concat expects at least 2 inputs")
+	}
+	n, h, w := xs[0].Dim(0), xs[0].Dim(2), xs[0].Dim(3)
+	c.n, c.h, c.w = n, h, w
+	c.splits = c.splits[:0]
+	total := 0
+	for _, x := range xs {
+		expect4D(x, 0, "concat")
+		if x.Dim(0) != n || x.Dim(2) != h || x.Dim(3) != w {
+			panic(fmt.Sprintf("nn: concat spatial/batch mismatch: %v vs %v", xs[0].Shape(), x.Shape()))
+		}
+		c.splits = append(c.splits, x.Dim(1))
+		total += x.Dim(1)
+	}
+	out := tensor.New(n, total, h, w)
+	hw := h * w
+	for i := 0; i < n; i++ {
+		off := i * total * hw
+		for k, x := range xs {
+			ck := c.splits[k]
+			copy(out.Data[off:off+ck*hw], x.Data[i*ck*hw:(i+1)*ck*hw])
+			off += ck * hw
+		}
+	}
+	return out
+}
+
+func (c *Concat) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	hw := c.h * c.w
+	total := 0
+	for _, s := range c.splits {
+		total += s
+	}
+	dxs := make([]*tensor.Tensor, len(c.splits))
+	for k, ck := range c.splits {
+		dxs[k] = tensor.New(c.n, ck, c.h, c.w)
+	}
+	for i := 0; i < c.n; i++ {
+		off := i * total * hw
+		for k, ck := range c.splits {
+			copy(dxs[k].Data[i*ck*hw:(i+1)*ck*hw], dout.Data[off:off+ck*hw])
+			off += ck * hw
+		}
+	}
+	return dxs
+}
+
+// Reorg is the feature-map reordering of Figure 5 (space-to-depth,
+// Redmon & Farhadi 2017): it rearranges an [N,C,H,W] tensor into
+// [N, C*S², H/S, W/S] by moving each S×S spatial block into the channel
+// dimension. Unlike pooling it loses no information — the operation is a
+// bijection, so small-object features survive the resolution drop along the
+// SkyNet bypass. Output channel (dy*S+dx)*C + c at (y,x) holds input channel
+// c at (y*S+dy, x*S+dx).
+type Reorg struct {
+	S     int
+	inShp []int
+}
+
+// NewReorg returns a space-to-depth layer with block size s.
+func NewReorg(s int) *Reorg { return &Reorg{S: s} }
+
+func (r *Reorg) Name() string     { return "reorg" }
+func (r *Reorg) Params() []*Param { return nil }
+
+func (r *Reorg) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	x := one(xs, "reorg")
+	expect4D(x, 0, "reorg")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%r.S != 0 || w%r.S != 0 {
+		panic(fmt.Sprintf("nn: reorg input %v not divisible by block %d", x.Shape(), r.S))
+	}
+	r.inShp = x.Shape()
+	oh, ow := h/r.S, w/r.S
+	out := tensor.New(n, c*r.S*r.S, oh, ow)
+	for i := 0; i < n; i++ {
+		for dy := 0; dy < r.S; dy++ {
+			for dx := 0; dx < r.S; dx++ {
+				for ch := 0; ch < c; ch++ {
+					oc := (dy*r.S+dx)*c + ch
+					for y := 0; y < oh; y++ {
+						srcBase := ((i*c+ch)*h+(y*r.S+dy))*w + dx
+						dstBase := ((i*c*r.S*r.S+oc)*oh + y) * ow
+						for xo := 0; xo < ow; xo++ {
+							out.Data[dstBase+xo] = x.Data[srcBase+xo*r.S]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (r *Reorg) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	n, c, h, w := r.inShp[0], r.inShp[1], r.inShp[2], r.inShp[3]
+	oh, ow := h/r.S, w/r.S
+	dx := tensor.New(n, c, h, w)
+	for i := 0; i < n; i++ {
+		for dy := 0; dy < r.S; dy++ {
+			for dxo := 0; dxo < r.S; dxo++ {
+				for ch := 0; ch < c; ch++ {
+					oc := (dy*r.S+dxo)*c + ch
+					for y := 0; y < oh; y++ {
+						dstBase := ((i*c+ch)*h+(y*r.S+dy))*w + dxo
+						srcBase := ((i*c*r.S*r.S+oc)*oh + y) * ow
+						for xo := 0; xo < ow; xo++ {
+							dx.Data[dstBase+xo*r.S] = dout.Data[srcBase+xo]
+						}
+					}
+				}
+			}
+		}
+	}
+	return []*tensor.Tensor{dx}
+}
+
+// Flatten reshapes [N,C,H,W] to [N, C*H*W] for fully-connected heads.
+type Flatten struct {
+	inShp []int
+}
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+func (f *Flatten) Name() string     { return "flatten" }
+func (f *Flatten) Params() []*Param { return nil }
+
+func (f *Flatten) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	x := one(xs, "flatten")
+	f.inShp = x.Shape()
+	n := x.Dim(0)
+	return x.Clone().Reshape(n, x.Len()/n)
+}
+
+func (f *Flatten) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{dout.Clone().Reshape(f.inShp...)}
+}
+
+// Add sums two same-shaped inputs elementwise — the residual connection of
+// the ResNet baselines.
+type Add struct{}
+
+// NewAdd returns an elementwise-addition layer.
+func NewAdd() *Add { return &Add{} }
+
+func (a *Add) Name() string     { return "add" }
+func (a *Add) Params() []*Param { return nil }
+
+func (a *Add) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	if len(xs) != 2 {
+		panic("nn: add expects exactly 2 inputs")
+	}
+	out := xs[0].Clone()
+	out.AddInPlace(xs[1])
+	return out
+}
+
+func (a *Add) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{dout.Clone(), dout.Clone()}
+}

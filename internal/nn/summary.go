@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a per-layer table of the graph — layer name, output
+// shape, parameter count and MACs — in the style of torchsummary. The
+// graph's Forward must have been run so output shapes and costs are
+// recorded.
+func Summary(g *Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-12s %-18s %12s %14s\n", "#", "layer", "output", "params", "MACs")
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 64))
+	var totalParams, totalMACs int64
+	for i, n := range g.Nodes {
+		var params int64
+		for _, p := range n.Layer.Params() {
+			params += int64(p.W.Len())
+		}
+		var macs int64
+		if c, ok := n.Layer.(Coster); ok {
+			macs, _ = c.Cost()
+		}
+		shape := "?"
+		if g.OutShapes != nil && i < len(g.OutShapes) && g.OutShapes[i] != nil {
+			shape = fmt.Sprint(g.OutShapes[i])
+		}
+		fmt.Fprintf(&sb, "%-4d %-12s %-18s %12d %14d\n", i, n.Layer.Name(), shape, params, macs)
+		totalParams += params
+		totalMACs += macs
+	}
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 64))
+	fmt.Fprintf(&sb, "total: %d parameters (%.2f MB fp32), %d MACs/forward\n",
+		totalParams, float64(totalParams)*4/1e6, totalMACs)
+	return sb.String()
+}

@@ -1,0 +1,29 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"skynet/internal/pipeline"
+)
+
+func ExampleThroughputFPS() {
+	// The paper's TX2 pipeline peaks at one image per bottleneck stage.
+	fmt.Printf("%.2f FPS\n", pipeline.ThroughputFPS(pipeline.TX2StageProfile))
+	// Output: 67.33 FPS
+}
+
+func ExampleSystemSpeedup() {
+	sp := pipeline.SystemSpeedup(pipeline.TX2SerialProfile, pipeline.TX2StageProfile, 1000)
+	fmt.Printf("%.2fx\n", sp)
+	// Output: 3.34x
+}
+
+func ExamplePipeline_RunPipelined() {
+	p := &pipeline.Pipeline{Stages: []pipeline.Stage{
+		{Name: "double", Proc: func(v any) any { return v.(int) * 2 }},
+		{Name: "inc", Proc: func(v any) any { return v.(int) + 1 }},
+	}}
+	out := p.RunPipelined([]any{1, 2, 3}, 1)
+	fmt.Println(out[0], out[1], out[2])
+	// Output: 3 5 7
+}

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage is one processing step of the live executor.
+type Stage struct {
+	Name string
+	// Proc transforms one work item. It must be safe to call from a single
+	// dedicated goroutine (stages do not share state).
+	Proc func(item any) any
+}
+
+// Pipeline executes a fixed sequence of stages over a stream of items,
+// either serially (the baseline of §6.3) or with one goroutine per stage
+// connected by buffered channels (the multithreaded design of Figure 10).
+type Pipeline struct {
+	Stages []Stage
+}
+
+// RunSerial processes the items one at a time through every stage.
+func (p *Pipeline) RunSerial(items []any) []any {
+	out := make([]any, len(items))
+	for i, it := range items {
+		cur := it
+		for _, s := range p.Stages {
+			cur = s.Proc(cur)
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// RunPipelined processes the items with one goroutine per stage and
+// channel buffering `buf` between stages, preserving order.
+func (p *Pipeline) RunPipelined(items []any, buf int) []any {
+	if buf < 1 {
+		buf = 1
+	}
+	in := make(chan any, buf)
+	cur := in
+	for _, s := range p.Stages {
+		next := make(chan any, buf)
+		go func(s Stage, in <-chan any, out chan<- any) {
+			for it := range in {
+				out <- s.Proc(it)
+			}
+			close(out)
+		}(s, cur, next)
+		cur = next
+	}
+	var out []any
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for it := range cur {
+			out = append(out, it)
+		}
+	}()
+	for _, it := range items {
+		in <- it
+	}
+	close(in)
+	wg.Wait()
+	return out
+}
+
+// TimedRun measures wall-clock makespans of serial vs pipelined execution
+// over the items and returns (serial, pipelined) durations.
+func (p *Pipeline) TimedRun(items []any, buf int) (serial, pipelined time.Duration) {
+	t0 := time.Now()
+	p.RunSerial(items)
+	serial = time.Since(t0)
+	t1 := time.Now()
+	p.RunPipelined(items, buf)
+	pipelined = time.Since(t1)
+	return serial, pipelined
+}
+
+// SleepStage returns a stage that blocks for d per item — a stand-in for
+// I/O-bound work (input fetch, DMA) used in simulations and tests.
+func SleepStage(name string, d time.Duration) Stage {
+	return Stage{Name: name, Proc: func(item any) any {
+		time.Sleep(d)
+		return item
+	}}
+}

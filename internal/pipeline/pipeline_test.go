@@ -1,0 +1,152 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMakespanFormulas(t *testing.T) {
+	durs := []float64{1, 2, 3}
+	if got := SerialMakespan(durs, 4); got != 24 {
+		t.Fatalf("serial = %v, want 24", got)
+	}
+	// Pipelined: fill (6) + 3 more bottleneck periods (9) = 15.
+	if got := PipelinedMakespan(durs, 4); got != 15 {
+		t.Fatalf("pipelined = %v, want 15", got)
+	}
+	if got := PipelinedMakespan(durs, 0); got != 0 {
+		t.Fatalf("pipelined(0 items) = %v", got)
+	}
+}
+
+// Property: pipelining never loses (pipelined ≤ serial) and never beats
+// the bottleneck bound (throughput ≤ 1/max).
+func TestQuickPipelineBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		durs := make([]float64, k)
+		for i := range durs {
+			durs[i] = 0.001 + rng.Float64()*0.05
+		}
+		n := 1 + rng.Intn(100)
+		ser := SerialMakespan(durs, n)
+		pip := PipelinedMakespan(durs, n)
+		if pip > ser+1e-12 {
+			return false
+		}
+		var sum float64
+		for _, d := range durs {
+			sum += d
+		}
+		// Speedup is bounded by the stage count and by sum/max.
+		return Speedup(durs, n) <= float64(k)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTX2ProfileReproducesPaper: the stage profile must yield the paper's
+// 3.35× pipeline speedup and 67.33 FPS peak throughput.
+func TestTX2ProfileReproducesPaper(t *testing.T) {
+	fps := ThroughputFPS(TX2StageProfile)
+	if math.Abs(fps-67.33) > 0.5 {
+		t.Fatalf("TX2 pipelined FPS %.2f, paper says 67.33", fps)
+	}
+	sp := SystemSpeedup(TX2SerialProfile, TX2StageProfile, 10000)
+	if math.Abs(sp-3.35) > 0.05 {
+		t.Fatalf("TX2 system speedup %.3f, paper says 3.35", sp)
+	}
+	// The serial design runs at ≈ 20 FPS (67.33 / 3.35).
+	serialFPS := 1 / (SerialMakespan(TX2SerialProfile, 1))
+	if math.Abs(serialFPS-20.1) > 0.5 {
+		t.Fatalf("serial FPS %.2f, want ≈ 20.1", serialFPS)
+	}
+}
+
+// TestFPGAProfileReproducesPaper: with the Ultra96 inference bottleneck at
+// 1/25.05 FPS, the pipeline peaks at the paper's 25.05 FPS.
+func TestFPGAProfileReproducesPaper(t *testing.T) {
+	profile := FPGAStageProfile(1 / 25.05)
+	fps := ThroughputFPS(profile)
+	if math.Abs(fps-25.05) > 0.1 {
+		t.Fatalf("FPGA pipelined FPS %.2f, paper says 25.05", fps)
+	}
+}
+
+func TestRunSerialOrderAndResults(t *testing.T) {
+	p := &Pipeline{Stages: []Stage{
+		{Name: "double", Proc: func(v any) any { return v.(int) * 2 }},
+		{Name: "inc", Proc: func(v any) any { return v.(int) + 1 }},
+	}}
+	out := p.RunSerial([]any{1, 2, 3})
+	want := []int{3, 5, 7}
+	for i, v := range want {
+		if out[i].(int) != v {
+			t.Fatalf("serial results %v, want %v", out, want)
+		}
+	}
+}
+
+func TestRunPipelinedMatchesSerial(t *testing.T) {
+	p := &Pipeline{Stages: []Stage{
+		{Name: "square", Proc: func(v any) any { x := v.(int); return x * x }},
+		{Name: "neg", Proc: func(v any) any { return -v.(int) }},
+	}}
+	items := make([]any, 20)
+	for i := range items {
+		items[i] = i
+	}
+	ser := p.RunSerial(items)
+	pip := p.RunPipelined(items, 2)
+	if len(pip) != len(ser) {
+		t.Fatalf("pipelined returned %d items, want %d", len(pip), len(ser))
+	}
+	for i := range ser {
+		if ser[i] != pip[i] {
+			t.Fatalf("order or value mismatch at %d: %v vs %v", i, ser[i], pip[i])
+		}
+	}
+}
+
+// TestPipelinedWallClockFaster shows the real executor overlapping
+// I/O-bound stages: with three sleep stages the pipelined run must beat
+// serial by a clear margin even on one CPU.
+func TestPipelinedWallClockFaster(t *testing.T) {
+	d := 3 * time.Millisecond
+	p := &Pipeline{Stages: []Stage{
+		SleepStage(StagePre, d),
+		SleepStage(StageInfer, d),
+		SleepStage(StagePost, d),
+	}}
+	items := make([]any, 12)
+	for i := range items {
+		items[i] = i
+	}
+	serial, pipelined := p.TimedRun(items, 1)
+	if pipelined >= serial {
+		t.Fatalf("pipelined %v not faster than serial %v", pipelined, serial)
+	}
+	ratio := float64(serial) / float64(pipelined)
+	if ratio < 1.8 {
+		t.Fatalf("wall-clock speedup %.2f too low for 3 equal stages", ratio)
+	}
+}
+
+func TestStageBreakdownRendering(t *testing.T) {
+	s := StageBreakdown(TX2StageProfile)
+	if !strings.Contains(s, StageInfer) || !strings.Contains(s, "ms") {
+		t.Fatalf("breakdown %q missing content", s)
+	}
+}
+
+func TestThroughputZero(t *testing.T) {
+	if ThroughputFPS([]float64{0, 0}) != 0 {
+		t.Fatal("zero-duration profile must report zero FPS")
+	}
+}

@@ -1,0 +1,221 @@
+// Package prune implements the network-pruning optimization the paper's
+// top-down baseline flow relies on (§1, Table 1 optimization ②): magnitude
+// pruning of individual weights and L1-norm filter pruning of whole output
+// channels, plus the retraining step that regains accuracy after pruning
+// (Han et al., 2015; Luo et al., 2017). SkyNet's bottom-up flow makes
+// pruning unnecessary — the paper's argument — and this package lets that
+// comparison be made concretely: a pruned-and-retrained top-down baseline
+// against an unpruned SkyNet of the same footprint.
+package prune
+
+import (
+	"math"
+	"sort"
+
+	"skynet/internal/nn"
+)
+
+// Mask records which weights of each parameter survive pruning. Masks are
+// applied multiplicatively, so pruned weights stay zero through retraining.
+type Mask struct {
+	params []*nn.Param
+	keep   [][]bool
+}
+
+// Sparsity returns the fraction of masked (zeroed) weights.
+func (m *Mask) Sparsity() float64 {
+	var total, dropped int
+	for _, k := range m.keep {
+		for _, keep := range k {
+			total++
+			if !keep {
+				dropped++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dropped) / float64(total)
+}
+
+// Apply zeroes every masked weight (idempotent). Call after each optimizer
+// step during retraining to keep pruned weights at zero.
+func (m *Mask) Apply() {
+	for i, p := range m.params {
+		for j, keep := range m.keep[i] {
+			if !keep {
+				p.W.Data[j] = 0
+			}
+		}
+	}
+}
+
+// ApplyToGrads zeroes the gradients of masked weights so momentum cannot
+// revive them.
+func (m *Mask) ApplyToGrads() {
+	for i, p := range m.params {
+		for j, keep := range m.keep[i] {
+			if !keep {
+				p.G.Data[j] = 0
+			}
+		}
+	}
+}
+
+// NonZeroParams returns the surviving parameter count.
+func (m *Mask) NonZeroParams() int64 {
+	var n int64
+	for _, k := range m.keep {
+		for _, keep := range k {
+			if keep {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// prunable selects the convolution weight tensors of a graph (biases and
+// BatchNorm affine parameters are conventionally left dense).
+func prunable(g *nn.Graph) []*nn.Param {
+	var ps []*nn.Param
+	for _, n := range g.Nodes {
+		switch l := n.Layer.(type) {
+		case *nn.Conv2D:
+			ps = append(ps, l.Weight)
+		case *nn.DWConv3:
+			ps = append(ps, l.Weight)
+		case *nn.Linear:
+			ps = append(ps, l.Weight)
+		}
+	}
+	return ps
+}
+
+// MagnitudePrune builds a mask dropping the fraction of smallest-magnitude
+// weights globally across all prunable tensors — Han et al.'s unstructured
+// pruning.
+func MagnitudePrune(g *nn.Graph, fraction float64) *Mask {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	params := prunable(g)
+	var all []float64
+	for _, p := range params {
+		for _, v := range p.W.Data {
+			all = append(all, math.Abs(float64(v)))
+		}
+	}
+	sort.Float64s(all)
+	idx := int(float64(len(all)) * fraction)
+	var threshold float64
+	if idx >= len(all) {
+		threshold = math.Inf(1)
+	} else {
+		threshold = all[idx]
+	}
+	m := &Mask{params: params}
+	for _, p := range params {
+		keep := make([]bool, p.W.Len())
+		for j, v := range p.W.Data {
+			keep[j] = math.Abs(float64(v)) >= threshold
+		}
+		m.keep = append(m.keep, keep)
+	}
+	m.Apply()
+	return m
+}
+
+// FilterPrune builds a mask dropping, per convolution, the fraction of
+// output filters with the smallest L1 norms — Luo et al.'s structured
+// pruning, which maps directly to hardware savings because whole output
+// channels disappear.
+func FilterPrune(g *nn.Graph, fraction float64) *Mask {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	m := &Mask{}
+	for _, node := range g.Nodes {
+		c, ok := node.Layer.(*nn.Conv2D)
+		if !ok {
+			continue
+		}
+		w := c.Weight.W // [OutC, InC*K*K]
+		outC, cols := w.Dim(0), w.Dim(1)
+		norms := make([]float64, outC)
+		for o := 0; o < outC; o++ {
+			var s float64
+			for j := 0; j < cols; j++ {
+				s += math.Abs(float64(w.Data[o*cols+j]))
+			}
+			norms[o] = s
+		}
+		order := make([]int, outC)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return norms[order[a]] < norms[order[b]] })
+		drop := int(float64(outC) * fraction)
+		if drop >= outC {
+			drop = outC - 1 // never remove every filter of a layer
+		}
+		dropped := map[int]bool{}
+		for _, o := range order[:drop] {
+			dropped[o] = true
+		}
+		keep := make([]bool, w.Len())
+		for o := 0; o < outC; o++ {
+			for j := 0; j < cols; j++ {
+				keep[o*cols+j] = !dropped[o]
+			}
+		}
+		m.params = append(m.params, c.Weight)
+		m.keep = append(m.keep, keep)
+	}
+	m.Apply()
+	return m
+}
+
+// Retrain runs masked SGD steps: after every optimizer step the mask is
+// re-applied so pruned weights stay at zero — the "network retraining is
+// then performed to regain accuracy" step of §1.
+func Retrain(g *nn.Graph, m *Mask, steps int, lr float32, step func(i int)) {
+	opt := nn.NewSGD(lr, 0.9, 0)
+	params := g.Params()
+	for i := 0; i < steps; i++ {
+		step(i) // caller runs forward + loss + backward for one batch
+		m.ApplyToGrads()
+		nn.ClipGradNorm(params, 5)
+		opt.Step(params)
+		m.Apply()
+	}
+}
+
+// EffectiveBytes returns the model size counting only surviving weights at
+// the given bit width (sparse storage, index overhead ignored), the
+// compression accounting the paper's Figure 2(a) baselines use.
+func EffectiveBytes(g *nn.Graph, m *Mask, bits int) int64 {
+	if bits <= 0 {
+		bits = 32
+	}
+	survivors := m.NonZeroParams()
+	// Non-prunable parameters (biases, BN) stay dense at float32.
+	var dense int64
+	pruned := map[*nn.Param]bool{}
+	for _, p := range m.params {
+		pruned[p] = true
+	}
+	for _, p := range g.Params() {
+		if !pruned[p] {
+			dense += int64(p.W.Len()) * 4
+		}
+	}
+	return survivors*int64(bits)/8 + dense
+}

@@ -1,0 +1,202 @@
+package prune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"skynet/internal/backbone"
+	"skynet/internal/dataset"
+	"skynet/internal/detect"
+	"skynet/internal/nn"
+	"skynet/internal/tensor"
+)
+
+func tinyNet(seed int64) *nn.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.Sequential(
+		nn.NewConv2D(rng, 3, 8, 3, 1, 1, true),
+		nn.NewBatchNorm(8),
+		nn.NewReLU6(),
+		nn.NewDWConv3(rng, 8, 3, false),
+		nn.NewPWConv1(rng, 8, 4, true),
+	)
+}
+
+func TestMagnitudePruneSparsity(t *testing.T) {
+	g := tinyNet(1)
+	m := MagnitudePrune(g, 0.5)
+	if s := m.Sparsity(); math.Abs(s-0.5) > 0.05 {
+		t.Fatalf("sparsity %v, want ≈ 0.5", s)
+	}
+	// The smallest weights must be the ones that went to zero.
+	var maxZeroed, minKept float64 = 0, math.Inf(1)
+	for _, p := range prunable(g) {
+		for _, v := range p.W.Data {
+			a := math.Abs(float64(v))
+			if v == 0 {
+				continue
+			}
+			if a < minKept {
+				minKept = a
+			}
+		}
+	}
+	if maxZeroed > minKept {
+		t.Fatal("kept a weight smaller than a pruned one")
+	}
+}
+
+func TestMagnitudePruneExtremes(t *testing.T) {
+	g := tinyNet(2)
+	if s := MagnitudePrune(g, 0).Sparsity(); s != 0 {
+		t.Fatalf("fraction 0 sparsity %v", s)
+	}
+	g2 := tinyNet(2)
+	if s := MagnitudePrune(g2, 1).Sparsity(); s != 1 {
+		t.Fatalf("fraction 1 sparsity %v", s)
+	}
+	g3 := tinyNet(2)
+	if s := MagnitudePrune(g3, 2).Sparsity(); s != 1 { // clamped
+		t.Fatalf("fraction >1 sparsity %v", s)
+	}
+}
+
+// Property: sparsity tracks the requested fraction.
+func TestQuickMagnitudeSparsityTracksFraction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frac := rng.Float64()
+		g := tinyNet(seed)
+		s := MagnitudePrune(g, frac).Sparsity()
+		return math.Abs(s-frac) < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterPruneZeroesWholeFilters(t *testing.T) {
+	g := tinyNet(3)
+	m := FilterPrune(g, 0.5)
+	if m.Sparsity() <= 0.3 {
+		t.Fatalf("filter sparsity %v too low", m.Sparsity())
+	}
+	// Every Conv2D row (filter) is either fully zero or fully nonzero-able.
+	for _, node := range g.Nodes {
+		c, ok := node.Layer.(*nn.Conv2D)
+		if !ok {
+			continue
+		}
+		w := c.Weight.W
+		outC, cols := w.Dim(0), w.Dim(1)
+		alive := 0
+		for o := 0; o < outC; o++ {
+			var zero, nonzero int
+			for j := 0; j < cols; j++ {
+				if w.Data[o*cols+j] == 0 {
+					zero++
+				} else {
+					nonzero++
+				}
+			}
+			if zero > 0 && nonzero > 0 {
+				t.Fatalf("filter %d partially pruned (%d zero, %d nonzero)", o, zero, nonzero)
+			}
+			if nonzero > 0 {
+				alive++
+			}
+		}
+		if alive == 0 {
+			t.Fatal("a layer lost every filter")
+		}
+	}
+}
+
+func TestMaskKeepsPrunedWeightsZeroThroughTraining(t *testing.T) {
+	g := tinyNet(4)
+	m := MagnitudePrune(g, 0.6)
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(2, 3, 8, 8)
+	x.RandUniform(rng, 0, 1)
+	Retrain(g, m, 5, 0.01, func(i int) {
+		out := g.Forward(x, true)
+		dout := tensor.New(out.Shape()...)
+		dout.RandNormal(rng, 0, 0.1)
+		g.Backward(dout)
+	})
+	var zeros, total int
+	for _, p := range prunable(g) {
+		for _, v := range p.W.Data {
+			total++
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	if frac := float64(zeros) / float64(total); frac < 0.55 {
+		t.Fatalf("pruned weights revived during retraining: sparsity %v", frac)
+	}
+}
+
+func TestEffectiveBytes(t *testing.T) {
+	g := tinyNet(6)
+	full := EffectiveBytes(g, MagnitudePrune(tinyNet(6), 0), 32)
+	g2 := tinyNet(6)
+	m := MagnitudePrune(g2, 0.5)
+	half := EffectiveBytes(g2, m, 32)
+	if half >= full {
+		t.Fatalf("pruned size %d not below dense %d", half, full)
+	}
+	q := EffectiveBytes(g2, m, 8)
+	if q >= half {
+		t.Fatal("quantized sparse size must shrink further")
+	}
+}
+
+// TestPruneRetrainRecoversAccuracy is the §1 top-down loop on a real task:
+// prune a trained detector, observe degradation, retrain, recover.
+func TestPruneRetrainRecoversAccuracy(t *testing.T) {
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = 48, 96
+	gen := dataset.NewGenerator(dcfg)
+	train := gen.DetectionSet(48)
+	val := gen.DetectionSet(24)
+	rng := rand.New(rand.NewSource(7))
+	cfg := backbone.Config{Width: 0.25, InC: 3, HeadChannels: 10, ReLU6: true}
+	g := backbone.SkyNetC(rng, cfg)
+	head := detect.NewHead(nil)
+	head.NoObjScale = 0.2
+	detect.TrainDetector(g, head, train, detect.TrainConfig{
+		Epochs: 10, BatchSize: 8,
+		LR: nn.LRSchedule{Start: 0.01, End: 0.002, Epochs: 10},
+	})
+	base := detect.MeanIoU(g, head, val, 8)
+
+	m := MagnitudePrune(g, 0.5)
+	pruned := detect.MeanIoU(g, head, val, 8)
+
+	// Retrain with the mask held.
+	batch := 0
+	Retrain(g, m, 30, 0.005, func(i int) {
+		lo := (batch * 8) % len(train)
+		hi := lo + 8
+		if hi > len(train) {
+			hi = len(train)
+		}
+		x, gts := detect.Batch(train, lo, hi)
+		pred := g.Forward(x, true)
+		_, grad := head.Loss(pred, gts)
+		g.Backward(grad)
+		batch++
+	})
+	retrained := detect.MeanIoU(g, head, val, 8)
+	t.Logf("IoU dense %.3f -> pruned %.3f -> retrained %.3f", base, pruned, retrained)
+	if retrained < pruned-0.02 {
+		t.Fatalf("retraining made things worse: %.3f -> %.3f", pruned, retrained)
+	}
+	if m.Sparsity() < 0.45 {
+		t.Fatalf("sparsity lost during retraining: %v", m.Sparsity())
+	}
+}

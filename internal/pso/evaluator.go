@@ -1,0 +1,149 @@
+package pso
+
+import (
+	"math/rand"
+
+	"skynet/internal/bundle"
+	"skynet/internal/dataset"
+	"skynet/internal/detect"
+	"skynet/internal/fpga"
+	"skynet/internal/hw"
+	"skynet/internal/nn"
+	"skynet/internal/tensor"
+)
+
+// BuildGraph materializes a genome into a trainable network: the Bundle
+// type's layers stacked per Channels with poolings at PoolPos, and a
+// detection head. When bypass is true, Stage 3's feature addition is
+// applied: the output of the slot preceding the last pooling is reordered
+// (space-to-depth) and concatenated into the final Bundle's input — the
+// SkyNet bypass of Figure 4. It returns the graph and whether the bypass
+// was applicable (it requires at least one pooling with a slot after it).
+func BuildGraph(rng *rand.Rand, n Network, bundles []bundle.Bundle, inC, headC int, bypass bool) (*nn.Graph, bool) {
+	b := bundles[n.BundleType%len(bundles)]
+	g := nn.NewGraph()
+	poolAfter := map[int]bool{}
+	lastPool := -1
+	for _, p := range n.PoolPos {
+		poolAfter[p] = true
+		if p > lastPool {
+			lastPool = p
+		}
+	}
+	slots := len(n.Channels)
+	applyBypass := bypass && lastPool >= 0 && lastPool < slots-1
+
+	addBundle := func(in, out, from int) int {
+		i := from
+		for _, l := range b.Build(rng, in, out) {
+			if i < 0 {
+				i = g.Add(l, nn.GraphInput)
+			} else {
+				i = g.Add(l, i)
+			}
+		}
+		return i
+	}
+
+	cur := inC
+	node := -1
+	srcNode, srcC := -1, 0
+	stop := slots
+	if applyBypass {
+		stop = slots - 1 // the final slot becomes the fusion bundle
+	}
+	for s := 0; s < stop; s++ {
+		node = addBundle(cur, n.Channels[s], node)
+		cur = n.Channels[s]
+		if s == lastPool && applyBypass {
+			srcNode, srcC = node, cur
+		}
+		if poolAfter[s] {
+			node = g.Add(nn.NewMaxPool(2), node)
+		}
+	}
+	if applyBypass {
+		reorg := g.Add(nn.NewReorg(2), srcNode)
+		cat := g.Add(nn.NewConcat(), node, reorg)
+		node = addBundle(cur+4*srcC, n.Channels[slots-1], cat)
+		cur = n.Channels[slots-1]
+	}
+	if headC > 0 {
+		g.Add(nn.NewPWConv1(rng, cur, headC, true), node)
+	}
+	return g, applyBypass
+}
+
+// HardwareEvaluator is the production Evaluator: accuracy from real fast
+// training on generated data, latency from the FPGA IP model and the GPU
+// roofline — "realistic hardware performance feedbacks instead of LUT
+// approximation" (§2.2).
+type HardwareEvaluator struct {
+	Bundles       []bundle.Bundle
+	Gen           *dataset.Generator
+	TrainN, ValN  int
+	BatchSize     int
+	InC, HeadC    int
+	Device        fpga.Device
+	GPU           hw.Platform
+	WBits, FMBits int
+	Seed          int64
+
+	train []detect.Sample
+	val   []detect.Sample
+}
+
+// Platform keys used in latency maps.
+const (
+	PlatformFPGA = "fpga"
+	PlatformGPU  = "gpu"
+)
+
+func (e *HardwareEvaluator) ensureData() {
+	if e.train == nil {
+		e.train = e.Gen.DetectionSet(e.TrainN)
+		e.val = e.Gen.DetectionSet(e.ValN)
+	}
+	if e.BatchSize <= 0 {
+		e.BatchSize = 8
+	}
+	if e.WBits == 0 {
+		e.WBits = 11
+	}
+	if e.FMBits == 0 {
+		e.FMBits = 9
+	}
+}
+
+// Accuracy implements Evaluator by fast-training the genome's network.
+func (e *HardwareEvaluator) Accuracy(n Network, epochs int) float64 {
+	e.ensureData()
+	rng := rand.New(rand.NewSource(e.Seed))
+	g, _ := BuildGraph(rng, n, e.Bundles, e.InC, e.HeadC, false)
+	head := detect.NewHead(nil)
+	detect.TrainDetector(g, head, e.train, detect.TrainConfig{
+		Epochs:    epochs,
+		BatchSize: e.BatchSize,
+		LR:        nn.LRSchedule{Start: 0.01, End: 0.002, Epochs: epochs},
+	})
+	return detect.MeanIoU(g, head, e.val, e.BatchSize)
+}
+
+// Latency implements Evaluator with the FPGA and GPU models.
+func (e *HardwareEvaluator) Latency(n Network) map[string]float64 {
+	e.ensureData()
+	rng := rand.New(rand.NewSource(e.Seed))
+	g, _ := BuildGraph(rng, n, e.Bundles, e.InC, e.HeadC, false)
+	cfg := e.Gen.Config()
+	x := tensor.New(1, e.InC, cfg.H, cfg.W)
+	x.RandUniform(rng, 0, 1)
+	g.Forward(x, false)
+	ip := fpga.AutoConfig(e.Device, e.WBits, e.FMBits)
+	rep := fpga.Estimate(g, e.Device, ip)
+	return map[string]float64{
+		PlatformFPGA: rep.LatencyS * 1e3,
+		PlatformGPU:  e.GPU.GraphLatency(g) * 1e3,
+	}
+}
+
+var _ Evaluator = (*HardwareEvaluator)(nil)

@@ -1,0 +1,372 @@
+package pso
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"skynet/internal/bundle"
+	"skynet/internal/dataset"
+	"skynet/internal/fpga"
+	"skynet/internal/hw"
+	"skynet/internal/tensor"
+)
+
+// quadEvaluator is a cheap synthetic fitness landscape: accuracy peaks at
+// a known channel profile and pooling set, latency grows with total
+// channel mass. It lets the search dynamics be tested in milliseconds.
+type quadEvaluator struct {
+	idealCh   []int
+	idealPool map[int]bool
+}
+
+func (q quadEvaluator) Accuracy(n Network, epochs int) float64 {
+	var d float64
+	for i, c := range n.Channels {
+		diff := float64(c - q.idealCh[i])
+		d += diff * diff
+	}
+	for _, p := range n.PoolPos {
+		if !q.idealPool[p] {
+			d += 400
+		}
+	}
+	acc := 1 / (1 + d/2000)
+	// More epochs sharpen the estimate slightly (monotone, bounded).
+	return acc * (1 - 0.1/float64(epochs+1))
+}
+
+func (q quadEvaluator) Latency(n Network) map[string]float64 {
+	var mass float64
+	for _, c := range n.Channels {
+		mass += float64(c)
+	}
+	return map[string]float64{PlatformFPGA: mass / 10, PlatformGPU: mass / 40}
+}
+
+func testConfig(seed int64) Config {
+	return Config{
+		Groups: 2, PerGroup: 6, Iterations: 12,
+		Slots: 4, Pools: 2,
+		ChannelMin: 4, ChannelMax: 128,
+		Alpha:    0.01,
+		Beta:     map[string]float64{PlatformFPGA: 2, PlatformGPU: 1},
+		TargetMS: map[string]float64{PlatformFPGA: 40, PlatformGPU: 15},
+		Seed:     seed,
+	}
+}
+
+func TestSearchImprovesFitness(t *testing.T) {
+	eval := quadEvaluator{idealCh: []int{16, 32, 64, 96}, idealPool: map[int]bool{0: true, 2: true}}
+	res := Search(testConfig(1), eval)
+	if len(res.History) != 12 {
+		t.Fatalf("history length %d", len(res.History))
+	}
+	if res.History[len(res.History)-1] <= res.History[0] {
+		t.Fatalf("search did not improve: %v -> %v", res.History[0], res.History[len(res.History)-1])
+	}
+}
+
+// Property (Algorithm 1 invariant): the global best fitness history is
+// monotone non-decreasing.
+func TestQuickHistoryMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		eval := quadEvaluator{idealCh: []int{20, 40, 60, 80}, idealPool: map[int]bool{1: true, 3: true}}
+		cfg := testConfig(seed)
+		cfg.Iterations = 6
+		res := Search(cfg, eval)
+		for i := 1; i < len(res.History); i++ {
+			if res.History[i] < res.History[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evolved particles always respect channel bounds and pooling
+// validity (unique, sorted, in range).
+func TestQuickParticlesStayValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig(seed)
+		cfg.normalize()
+		n := cfg.randomNetwork(rng, 0)
+		best := cfg.randomNetwork(rng, 0)
+		for step := 0; step < 20; step++ {
+			n = cfg.evolve(rng, n, best)
+			seen := map[int]bool{}
+			prev := -1
+			for _, p := range n.PoolPos {
+				if p < 0 || p >= cfg.Slots || seen[p] || p < prev {
+					return false
+				}
+				seen[p] = true
+				prev = p
+			}
+			for _, c := range n.Channels {
+				if c < cfg.ChannelMin || c > cfg.ChannelMax {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupsEvolveIndependently(t *testing.T) {
+	eval := quadEvaluator{idealCh: []int{16, 32, 64, 96}, idealPool: map[int]bool{0: true, 2: true}}
+	res := Search(testConfig(3), eval)
+	if len(res.GroupBest) != 2 {
+		t.Fatalf("want 2 group bests, got %d", len(res.GroupBest))
+	}
+	for gi, p := range res.GroupBest {
+		if p.Net.BundleType != gi {
+			t.Fatalf("group %d best has bundle type %d", gi, p.Net.BundleType)
+		}
+	}
+	// The global best equals the best group best.
+	best := math.Inf(-1)
+	for _, p := range res.GroupBest {
+		if p.Fit > best {
+			best = p.Fit
+		}
+	}
+	if res.Best.Fit != best {
+		t.Fatal("global best must be the max over group bests")
+	}
+}
+
+func TestFitnessPenaltyForm(t *testing.T) {
+	cfg := testConfig(4)
+	lat := map[string]float64{PlatformFPGA: 60, PlatformGPU: 10}
+	// FPGA overshoots by 20ms, GPU undershoots (no penalty).
+	got := cfg.Fitness(0.7, lat)
+	want := 0.7 - 0.01*(2*20+1*0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fitness %v, want %v", got, want)
+	}
+	// Literal form adds the absolute deviations with a positive sign.
+	cfg.PaperLiteralFitness = true
+	gotLit := cfg.Fitness(0.7, lat)
+	wantLit := 0.7 + 0.01*(2*20+1*5)
+	if math.Abs(gotLit-wantLit) > 1e-12 {
+		t.Fatalf("literal fitness %v, want %v", gotLit, wantLit)
+	}
+}
+
+func TestFitnessPrioritizesFPGA(t *testing.T) {
+	// With βfpga > βgpu, the same overshoot hurts more on the FPGA.
+	cfg := testConfig(5)
+	over := func(h string) float64 {
+		lat := map[string]float64{PlatformFPGA: 40, PlatformGPU: 15}
+		lat[h] += 10
+		return cfg.Fitness(0.5, lat)
+	}
+	if over(PlatformFPGA) >= over(PlatformGPU) {
+		t.Fatal("FPGA overshoot must be penalized harder than GPU overshoot")
+	}
+}
+
+func TestBuildGraphChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bundles := bundle.Enumerate()
+	n := Network{BundleType: 6, Channels: []int{8, 16, 24}, PoolPos: []int{0, 1}}
+	g, bypass := BuildGraph(rng, n, bundles, 3, 10, false)
+	if bypass {
+		t.Fatal("bypass must be off when not requested")
+	}
+	x := tensor.New(1, 3, 16, 16)
+	x.RandUniform(rng, 0, 1)
+	out := g.Forward(x, false)
+	if out.Dim(1) != 10 || out.Dim(2) != 4 {
+		t.Fatalf("chain output %v", out.Shape())
+	}
+}
+
+func TestBuildGraphBypass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bundles := bundle.Enumerate()
+	n := Network{BundleType: 6, Channels: []int{8, 16, 24, 32}, PoolPos: []int{0, 1}}
+	g, bypass := BuildGraph(rng, n, bundles, 3, 10, true)
+	if !bypass {
+		t.Fatal("bypass should apply: the last pool is followed by slots")
+	}
+	x := tensor.New(1, 3, 16, 16)
+	x.RandUniform(rng, 0, 1)
+	out := g.Forward(x, false)
+	if out.Dim(1) != 10 || out.Dim(2) != 4 {
+		t.Fatalf("bypass output %v", out.Shape())
+	}
+	// Train-mode backward must work through the bypass.
+	out = g.Forward(x, true)
+	dout := tensor.New(out.Shape()...)
+	dout.Fill(0.01)
+	g.Backward(dout)
+}
+
+func TestBuildGraphBypassInapplicable(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bundles := bundle.Enumerate()
+	// The only pool is after the last slot: no room for a fusion bundle.
+	n := Network{BundleType: 0, Channels: []int{8, 16}, PoolPos: []int{1}}
+	g, bypass := BuildGraph(rng, n, bundles, 3, 10, true)
+	if bypass {
+		t.Fatal("bypass must be skipped when the last pool has no successor slot")
+	}
+	x := tensor.New(1, 3, 8, 8)
+	x.RandUniform(rng, 0, 1)
+	if out := g.Forward(x, false); out.Dim(1) != 10 {
+		t.Fatalf("fallback chain output %v", out.Shape())
+	}
+}
+
+// TestHardwareEvaluatorEndToEnd runs the production evaluator on a tiny
+// budget: real training for accuracy, real FPGA/GPU models for latency.
+func TestHardwareEvaluatorEndToEnd(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.W, cfg.H = 48, 24
+	ev := &HardwareEvaluator{
+		Bundles: bundle.Enumerate(),
+		Gen:     dataset.NewGenerator(cfg),
+		TrainN:  12, ValN: 6,
+		InC: 3, HeadC: 10,
+		Device: fpga.Ultra96, GPU: hw.TX2,
+		Seed: 1,
+	}
+	n := Network{BundleType: 6, Channels: []int{8, 16, 24}, PoolPos: []int{0, 1}}
+	acc := ev.Accuracy(n, 2)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	lat := ev.Latency(n)
+	if lat[PlatformFPGA] <= 0 || lat[PlatformGPU] <= 0 {
+		t.Fatalf("latencies %v", lat)
+	}
+}
+
+func TestNetworkCloneIndependent(t *testing.T) {
+	n := Network{BundleType: 1, Channels: []int{1, 2}, PoolPos: []int{0}}
+	c := n.Clone()
+	c.Channels[0] = 99
+	c.PoolPos[0] = 1
+	if n.Channels[0] == 99 || n.PoolPos[0] == 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+	if n.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+// groupedEval gives each group a different ideal genome, so dragging
+// particles toward another group's best (the GlobalEvolution ablation)
+// hurts. This measures the paper's rationale for group-based evolution.
+type groupedEval struct{}
+
+func (groupedEval) Accuracy(n Network, epochs int) float64 {
+	ideal := 20.0
+	if n.BundleType == 1 {
+		ideal = 120.0
+	}
+	var d float64
+	for _, c := range n.Channels {
+		diff := float64(c) - ideal
+		d += diff * diff
+	}
+	return 1 / (1 + d/4000)
+}
+
+func (groupedEval) Latency(n Network) map[string]float64 {
+	return map[string]float64{PlatformFPGA: 10}
+}
+
+func TestGroupBasedBeatsGlobalEvolution(t *testing.T) {
+	base := testConfig(11)
+	base.Iterations = 10
+	base.PerGroup = 5
+	run := func(global bool) float64 {
+		cfg := base
+		cfg.GlobalEvolution = global
+		res := Search(cfg, groupedEval{})
+		// Stability metric: the worse group's final best — global
+		// evolution sacrifices one group to the other's optimum.
+		worst := res.GroupBest[0].Fit
+		if res.GroupBest[1].Fit < worst {
+			worst = res.GroupBest[1].Fit
+		}
+		return worst
+	}
+	grouped := run(false)
+	global := run(true)
+	if grouped < global-1e-9 {
+		t.Fatalf("group-based evolution (worst-group fit %.4f) should not lose to global (%.4f)",
+			grouped, global)
+	}
+}
+
+func TestRandomSearchBaseline(t *testing.T) {
+	eval := quadEvaluator{idealCh: []int{16, 32, 64, 96}, idealPool: map[int]bool{0: true, 2: true}}
+	res := RandomSearch(testConfig(20), eval)
+	if len(res.History) != 12 {
+		t.Fatalf("history %d", len(res.History))
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatal("random-search best must be monotone")
+		}
+	}
+	if res.Best.Fit <= 0 {
+		t.Fatalf("best fitness %v", res.Best.Fit)
+	}
+}
+
+// TestPSOBeatsRandomSearch is the Stage-2 ablation: at an equal evaluation
+// budget on a landscape with local structure, the swarm's directed updates
+// must average at least as good as uniform sampling.
+func TestPSOBeatsRandomSearch(t *testing.T) {
+	eval := quadEvaluator{idealCh: []int{16, 32, 64, 96}, idealPool: map[int]bool{0: true, 2: true}}
+	cfg := testConfig(0)
+	cfg.Iterations = 15
+	psoMean, randMean := CompareSearchers(cfg, eval, []int64{1, 2, 3, 4, 5})
+	if psoMean < randMean {
+		t.Fatalf("PSO mean fitness %.4f below random search %.4f", psoMean, randMean)
+	}
+}
+
+// hostileEval injects NaN/Inf fitness values — the search must survive
+// evaluator failures without panicking.
+type hostileEval struct{}
+
+func (hostileEval) Accuracy(n Network, epochs int) float64 {
+	switch n.Channels[0] % 3 {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(-1)
+	}
+	return 0.5
+}
+
+func (hostileEval) Latency(n Network) map[string]float64 {
+	return map[string]float64{PlatformFPGA: 10}
+}
+
+func TestSearchSurvivesHostileEvaluator(t *testing.T) {
+	cfg := testConfig(30)
+	cfg.Iterations = 4
+	res := Search(cfg, hostileEval{})
+	// The best must be a finite value when any particle produced one.
+	if math.IsNaN(res.Best.Fit) {
+		t.Fatal("NaN fitness leaked into the global best")
+	}
+	if len(res.History) != 4 {
+		t.Fatalf("history %d", len(res.History))
+	}
+}

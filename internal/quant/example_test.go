@@ -1,0 +1,19 @@
+package quant_test
+
+import (
+	"fmt"
+
+	"skynet/internal/quant"
+)
+
+func ExampleCalibrate() {
+	q := quant.Calibrate(8, []float32{-2, 0.5, 1.9})
+	// The calibrated scale covers the max-magnitude value with 127 codes.
+	fmt.Printf("%.4f %.4f\n", q.Scale, q.Quantize(0.5))
+	// Output: 0.0157 0.5039
+}
+
+func ExampleScheme_String() {
+	fmt.Println(quant.Table7Schemes[0], quant.Table7Schemes[1])
+	// Output: Float32 FM9/W11
+}

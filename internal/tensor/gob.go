@@ -1,0 +1,31 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobTensor is the wire form of a Tensor; Tensor keeps its shape
+// unexported so it encodes through this mirror struct.
+type gobTensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tensor) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobTensor{Shape: t.shape, Data: t.Data})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tensor) GobDecode(b []byte) error {
+	var gt gobTensor
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&gt); err != nil {
+		return err
+	}
+	t.shape = gt.Shape
+	t.Data = gt.Data
+	return nil
+}

@@ -1,0 +1,102 @@
+package tensor
+
+import "fmt"
+
+// ConvOut returns the spatial output size of a convolution with the given
+// input size, kernel, stride and padding.
+func ConvOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers one image of shape [C,H,W] into a matrix of shape
+// [C*kh*kw, outH*outW] so that convolution becomes a single matrix
+// multiplication with the [outC, C*kh*kw] weight matrix. Out-of-bounds
+// (padding) positions contribute zeros. The result is written into col,
+// which must have the exact shape; this allows the caller to reuse one
+// buffer across a batch.
+func Im2Col(col, img *Tensor, kh, kw, stride, pad int) {
+	if img.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col expects [C,H,W] input, got %v", img.shape))
+	}
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	outH := ConvOut(h, kh, stride, pad)
+	outW := ConvOut(w, kw, stride, pad)
+	rows := c * kh * kw
+	cols := outH * outW
+	if col.shape[0] != rows || col.shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2Col output shape %v, want [%d %d]", col.shape, rows, cols))
+	}
+	cd := col.Data
+	id := img.Data
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				dst := cd[row*cols : (row+1)*cols]
+				di := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							dst[di] = 0
+						} else {
+							dst[di] = id[rowBase+ix]
+						}
+						di++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a [C*kh*kw, outH*outW]
+// matrix back into an image of shape [C,H,W], accumulating overlapping
+// contributions. The destination img is zeroed first. Used to propagate
+// gradients through convolutions.
+func Col2Im(img, col *Tensor, kh, kw, stride, pad int) {
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	outH := ConvOut(h, kh, stride, pad)
+	outW := ConvOut(w, kw, stride, pad)
+	cols := outH * outW
+	img.Zero()
+	cd := col.Data
+	id := img.Data
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				src := cd[row*cols : (row+1)*cols]
+				si := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						si += outW
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							id[rowBase+ix] += src[si]
+						}
+						si++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package tensor
+
+import "math"
+
+// BilinearResize rescales a [C,H,W] image tensor to [C,newH,newW] with
+// bilinear interpolation. Used for data augmentation, the multi-scale
+// training of the paper's §6.1, and the input-resize-factor experiments.
+func BilinearResize(img *Tensor, newH, newW int) *Tensor {
+	if img.Rank() != 3 {
+		panic("tensor: BilinearResize expects a [C,H,W] image")
+	}
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	if newH == h && newW == w {
+		return img.Clone()
+	}
+	out := New(c, newH, newW)
+	sy := float64(h) / float64(newH)
+	sx := float64(w) / float64(newW)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < newH; y++ {
+			fy := (float64(y)+0.5)*sy - 0.5
+			y0 := int(math.Floor(fy))
+			ty := fy - float64(y0)
+			y1 := y0 + 1
+			if y0 < 0 {
+				y0 = 0
+			}
+			if y1 >= h {
+				y1 = h - 1
+			}
+			if y0 > y1 {
+				y0 = y1
+			}
+			for x := 0; x < newW; x++ {
+				fx := (float64(x)+0.5)*sx - 0.5
+				x0 := int(math.Floor(fx))
+				tx := fx - float64(x0)
+				x1 := x0 + 1
+				if x0 < 0 {
+					x0 = 0
+				}
+				if x1 >= w {
+					x1 = w - 1
+				}
+				if x0 > x1 {
+					x0 = x1
+				}
+				v00 := float64(img.At(ch, y0, x0))
+				v01 := float64(img.At(ch, y0, x1))
+				v10 := float64(img.At(ch, y1, x0))
+				v11 := float64(img.At(ch, y1, x1))
+				v := (v00*(1-tx)+v01*tx)*(1-ty) + (v10*(1-tx)+v11*tx)*ty
+				out.Set(float32(v), ch, y, x)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform fills t with samples from the uniform distribution [lo, hi).
+func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float32) {
+	span := hi - lo
+	for i := range t.Data {
+		t.Data[i] = lo + span*rng.Float32()
+	}
+}
+
+// RandNormal fills t with samples from N(mean, std²).
+func (t *Tensor) RandNormal(rng *rand.Rand, mean, std float32) {
+	for i := range t.Data {
+		t.Data[i] = mean + std*float32(rng.NormFloat64())
+	}
+}
+
+// HeInit fills t with the Kaiming-He normal initialization for a layer
+// with the given fan-in, the standard choice for ReLU-family networks.
+func (t *Tensor) HeInit(rng *rand.Rand, fanIn int) {
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	t.RandNormal(rng, 0, std)
+}
+
+// XavierInit fills t with the Glorot uniform initialization for the given
+// fan-in and fan-out.
+func (t *Tensor) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	t.RandUniform(rng, -limit, limit)
+}

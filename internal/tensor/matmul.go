@@ -1,0 +1,180 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n],
+// returning a new [m,n] tensor. The loop order (i,k,j) keeps the inner loop
+// streaming over contiguous rows of B and C, which is the cache-friendly
+// ordering for row-major data.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v vs %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes c = a·b, overwriting c. c must have shape [m,n].
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.shape, m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		crow := cd[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		arow := ad[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulAddInto computes c += a·b without zeroing c first.
+func MatMulAddInto(c, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAddInto output shape %v, want [%d %d]", c.shape, m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		crow := cd[i*n : (i+1)*n]
+		arow := ad[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransposeBAddInto computes c += a·bᵀ for a of shape [m,k] and b of
+// shape [n,k]; c must have shape [m,n]. Used to accumulate weight gradients
+// across a batch.
+func MatMulTransposeBAddInto(c, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransposeBAddInto inner mismatch %v vs %v", a.shape, b.shape))
+	}
+	if c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransposeBAddInto output shape %v, want [%d %d]", c.shape, m, n))
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += s
+		}
+	}
+}
+
+// MatMulTransposeAInto computes c = aᵀ·b for a of shape [k,m] and b of
+// shape [k,n]; c must have shape [m,n]. Used for weight gradients.
+func MatMulTransposeAInto(c, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransposeAInto inner mismatch %v vs %v", a.shape, b.shape))
+	}
+	if c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransposeAInto output shape %v, want [%d %d]", c.shape, m, n))
+	}
+	cd := c.Data
+	for i := range cd {
+		cd[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := cd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransposeAAddInto computes c += aᵀ·b for a of shape [k,m] and b of
+// shape [k,n]; c must have shape [m,n].
+func MatMulTransposeAAddInto(c, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransposeAAddInto inner mismatch %v vs %v", a.shape, b.shape))
+	}
+	if c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransposeAAddInto output shape %v, want [%d %d]", c.shape, m, n))
+	}
+	cd := c.Data
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := cd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransposeBInto computes c = a·bᵀ for a of shape [m,k] and b of
+// shape [n,k]; c must have shape [m,n]. Used for input gradients.
+func MatMulTransposeBInto(c, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransposeBInto inner mismatch %v vs %v", a.shape, b.shape))
+	}
+	if c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransposeBInto output shape %v, want [%d %d]", c.shape, m, n))
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package track
+
+import (
+	"math"
+	"time"
+
+	"skynet/internal/dataset"
+	"skynet/internal/detect"
+	"skynet/internal/nn"
+	"skynet/internal/tensor"
+)
+
+// Track runs the tracker over a sequence initialized from the first
+// frame's ground truth (the GOT-10k one-shot protocol) and returns the
+// per-frame IoUs against ground truth for frames 1..N-1.
+func (t *Tracker) Track(seq dataset.Sequence) []float64 {
+	box := seq.Boxes[0]
+	zf := t.features(t.ExemplarCrop(seq.Frames[0], box), false).Clone()
+	ious := make([]float64, 0, seq.Len()-1)
+	for f := 1; f < seq.Len(); f++ {
+		box = t.StepBox(zf, seq.Frames[f], box)
+		ious = append(ious, box.IoU(seq.Boxes[f]))
+	}
+	return ious
+}
+
+// StepBox advances the tracked box by one frame given precomputed
+// exemplar features.
+func (t *Tracker) StepBox(zf *tensor.Tensor, frame *tensor.Tensor, box detect.Box) detect.Box {
+	imgH, imgW := frame.Dim(1), frame.Dim(2)
+	crop, side := t.SearchCrop(frame, box, box.CX, box.CY)
+	xf := t.features(crop, false)
+	resp := DWXCorr(zf, xf)
+	c, r := resp.Dim(0), resp.Dim(1)
+	resp4 := resp.Reshape(1, c, r, r)
+	cls := t.Cls.Forward([]*tensor.Tensor{resp4}, false)
+	reg := t.Reg.Forward([]*tensor.Tensor{resp4}, false)
+	// Peak of the classification map.
+	py, px, best := 0, 0, float32(math.Inf(-1))
+	for y := 0; y < r; y++ {
+		for x := 0; x < r; x++ {
+			if v := cls.At(0, 0, y, x); v > best {
+				best, py, px = v, y, x
+			}
+		}
+	}
+	dx := clampF(reg.At(0, 0, py, px), -1, 1)
+	dy := clampF(reg.At(0, 1, py, px), -1, 1)
+	tw := clampF(reg.At(0, 2, py, px), -1, 1)
+	th := clampF(reg.At(0, 3, py, px), -1, 1)
+	s := float64(t.Cfg.SearchSize)
+	scale := side / s // search-crop pixel → image pixel
+	offX := (float64(px) + float64(dx) - float64(r-1)/2) * float64(t.Cfg.Stride) * scale
+	offY := (float64(py) + float64(dy) - float64(r-1)/2) * float64(t.Cfg.Stride) * scale
+	nb := box
+	nb.CX = clamp01(box.CX + offX/float64(imgW))
+	nb.CY = clamp01(box.CY + offY/float64(imgH))
+	// Damped size update from the regression head.
+	wNew := nominalFrac * math.Exp(float64(tw)) * side / float64(imgW)
+	hNew := nominalFrac * math.Exp(float64(th)) * side / float64(imgH)
+	const damp = 0.3
+	nb.W = clampSize((1-damp)*box.W + damp*wNew)
+	nb.H = clampSize((1-damp)*box.H + damp*hNew)
+	return nb.Clip()
+}
+
+// PeakMask returns the sigmoid mask patch predicted at the response peak
+// for the given frame and box — the SiamMask output of Figure 8.
+func (t *Tracker) PeakMask(zf *tensor.Tensor, frame *tensor.Tensor, box detect.Box) *tensor.Tensor {
+	if t.Mask == nil {
+		panic("track: PeakMask on a tracker without a mask head")
+	}
+	crop, _ := t.SearchCrop(frame, box, box.CX, box.CY)
+	xf := t.features(crop, false)
+	resp := DWXCorr(zf, xf)
+	c, r := resp.Dim(0), resp.Dim(1)
+	resp4 := resp.Reshape(1, c, r, r)
+	cls := t.Cls.Forward([]*tensor.Tensor{resp4}, false)
+	masks := t.Mask.Forward([]*tensor.Tensor{resp4}, false)
+	py, px, best := 0, 0, float32(math.Inf(-1))
+	for y := 0; y < r; y++ {
+		for x := 0; x < r; x++ {
+			if v := cls.At(0, 0, y, x); v > best {
+				best, py, px = v, y, x
+			}
+		}
+	}
+	m := t.Cfg.MaskSize
+	out := tensor.New(1, m, m)
+	for k := 0; k < m*m; k++ {
+		out.Data[k] = nn.Sigmoid(masks.At(0, k, py, px))
+	}
+	return out
+}
+
+// Evaluate runs the GOT-10k protocol over the sequences and returns the
+// benchmark metrics plus the measured tracking speed in frames/second.
+type EvalResult struct {
+	AO     float64
+	SR50   float64
+	SR75   float64
+	FPS    float64
+	Frames int
+}
+
+// Evaluate tracks every sequence and aggregates AO / SR@0.50 / SR@0.75.
+func (t *Tracker) Evaluate(seqs []dataset.Sequence) EvalResult {
+	var all []float64
+	start := time.Now()
+	frames := 0
+	for _, seq := range seqs {
+		ious := t.Track(seq)
+		all = append(all, ious...)
+		frames += len(ious)
+	}
+	elapsed := time.Since(start).Seconds()
+	res := EvalResult{AO: AO(all), SR50: SR(all, 0.50), SR75: SR(all, 0.75), Frames: frames}
+	if elapsed > 0 {
+		res.FPS = float64(frames) / elapsed
+	}
+	return res
+}
+
+// ExemplarFeatures precomputes the template features for a sequence's
+// first frame, for callers driving step/PeakMask manually.
+func (t *Tracker) ExemplarFeatures(seq dataset.Sequence) *tensor.Tensor {
+	return t.features(t.ExemplarCrop(seq.Frames[0], seq.Boxes[0]), false).Clone()
+}
+
+func clampF(v, lo, hi float32) float32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func clampSize(v float64) float64 {
+	if v < 0.02 {
+		return 0.02
+	}
+	if v > 0.8 {
+		return 0.8
+	}
+	return v
+}
+
+// CropForMaskGT exposes the ground-truth mask patch geometry used in
+// training, for mask-quality evaluation.
+func (t *Tracker) CropForMaskGT(seq dataset.Sequence, f int) *tensor.Tensor {
+	b := seq.Boxes[f]
+	side := searchSidePixels(b, seq.Frames[f].Dim(1), seq.Frames[f].Dim(2))
+	return cropAt(seq.Masks[f], b.CX, b.CY, side/2, t.Cfg.MaskSize)
+}

@@ -1,0 +1,152 @@
+package track
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"skynet/internal/dataset"
+	"skynet/internal/detect"
+)
+
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// This file writes tracking results in the GOT-10k submission layout the
+// paper's §7 evaluation used: one directory per sequence containing
+// <name>_001.txt with per-frame "x,y,w,h" boxes in pixels and a
+// <name>_time.txt with per-frame processing seconds. A local result set
+// can therefore be scored by the same tooling the official server runs.
+
+// SequenceResult is one tracked sequence ready for export.
+type SequenceResult struct {
+	Name   string
+	Boxes  []detect.Box // predicted box per frame, including frame 0's init
+	Times  []float64    // per-frame seconds; len must match Boxes
+	ImageW int
+	ImageH int
+}
+
+// TrackForSubmission runs the tracker over a sequence and packages the
+// predictions (ground-truth init box first, per the protocol).
+func (t *Tracker) TrackForSubmission(name string, seq dataset.Sequence) SequenceResult {
+	res := SequenceResult{
+		Name:   name,
+		ImageW: seq.Frames[0].Dim(2),
+		ImageH: seq.Frames[0].Dim(1),
+	}
+	box := seq.Boxes[0]
+	res.Boxes = append(res.Boxes, box)
+	res.Times = append(res.Times, 0)
+	zf := t.ExemplarFeatures(seq)
+	for f := 1; f < seq.Len(); f++ {
+		start := nowSeconds()
+		box = t.StepBox(zf, seq.Frames[f], box)
+		res.Boxes = append(res.Boxes, box)
+		res.Times = append(res.Times, nowSeconds()-start)
+	}
+	return res
+}
+
+// WriteSubmission writes the result set under dir in the GOT-10k layout.
+func WriteSubmission(dir string, results []SequenceResult) error {
+	for _, r := range results {
+		seqDir := filepath.Join(dir, r.Name)
+		if err := os.MkdirAll(seqDir, 0o755); err != nil {
+			return err
+		}
+		if len(r.Times) != len(r.Boxes) {
+			return fmt.Errorf("track: %s has %d times for %d boxes", r.Name, len(r.Times), len(r.Boxes))
+		}
+		bf, err := os.Create(filepath.Join(seqDir, r.Name+"_001.txt"))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(bf)
+		for _, b := range r.Boxes {
+			x1, y1, _, _ := b.Corners()
+			fmt.Fprintf(w, "%.2f,%.2f,%.2f,%.2f\n",
+				x1*float64(r.ImageW), y1*float64(r.ImageH),
+				b.W*float64(r.ImageW), b.H*float64(r.ImageH))
+		}
+		if err := w.Flush(); err != nil {
+			bf.Close()
+			return err
+		}
+		if err := bf.Close(); err != nil {
+			return err
+		}
+		tf, err := os.Create(filepath.Join(seqDir, r.Name+"_time.txt"))
+		if err != nil {
+			return err
+		}
+		tw := bufio.NewWriter(tf)
+		for _, s := range r.Times {
+			fmt.Fprintf(tw, "%.6f\n", s)
+		}
+		if err := tw.Flush(); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSubmissionBoxes parses one sequence's box file back into normalized
+// boxes — the reader side of the protocol, used to score a submission
+// locally against ground truth.
+func ReadSubmissionBoxes(r io.Reader, imageW, imageH int) ([]detect.Box, error) {
+	var boxes []detect.Box
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var x, y, w, h float64
+		if _, err := fmt.Sscanf(strings.ReplaceAll(text, ",", " "), "%f %f %f %f", &x, &y, &w, &h); err != nil {
+			return nil, fmt.Errorf("track: line %d: %w", line, err)
+		}
+		boxes = append(boxes, detect.Box{
+			CX: (x + w/2) / float64(imageW),
+			CY: (y + h/2) / float64(imageH),
+			W:  w / float64(imageW),
+			H:  h / float64(imageH),
+		})
+	}
+	return boxes, sc.Err()
+}
+
+// ScoreSubmission evaluates a written submission against the generating
+// sequences, returning the benchmark metrics.
+func ScoreSubmission(dir string, names []string, seqs []dataset.Sequence) (EvalResult, error) {
+	var all []float64
+	frames := 0
+	for i, name := range names {
+		f, err := os.Open(filepath.Join(dir, name, name+"_001.txt"))
+		if err != nil {
+			return EvalResult{}, err
+		}
+		boxes, err := ReadSubmissionBoxes(f, seqs[i].Frames[0].Dim(2), seqs[i].Frames[0].Dim(1))
+		f.Close()
+		if err != nil {
+			return EvalResult{}, err
+		}
+		if len(boxes) != seqs[i].Len() {
+			return EvalResult{}, fmt.Errorf("track: %s has %d boxes for %d frames", name, len(boxes), seqs[i].Len())
+		}
+		for fIdx := 1; fIdx < seqs[i].Len(); fIdx++ { // frame 0 is the init
+			all = append(all, boxes[fIdx].IoU(seqs[i].Boxes[fIdx]))
+			frames++
+		}
+	}
+	return EvalResult{AO: AO(all), SR50: SR(all, 0.50), SR75: SR(all, 0.75), Frames: frames}, nil
+}

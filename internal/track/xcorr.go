@@ -1,0 +1,83 @@
+// Package track implements the paper's §7 extension: Siamese object
+// trackers in the style of SiamRPN++ (Li et al., 2019) and SiamMask (Wang
+// et al., 2019), with swappable backbones so SkyNet can be compared against
+// ResNet-50 and AlexNet on GOT-10k-style sequences (Tables 8 and 9). The
+// tracker correlates exemplar features against search-region features with
+// a depth-wise cross-correlation, classifies each response position as
+// target/background, regresses box refinements, and (for the SiamMask
+// variant) predicts a segmentation mask patch at the peak.
+package track
+
+import (
+	"fmt"
+
+	"skynet/internal/tensor"
+)
+
+// DWXCorr computes the depth-wise cross-correlation of exemplar features z
+// [C,hz,wz] against search features x [C,hx,wx]: each channel of z slides
+// over the same channel of x, producing [C, hx-hz+1, wx-wz+1]. This is the
+// correlation SiamRPN++ introduced to keep channel identity.
+func DWXCorr(z, x *tensor.Tensor) *tensor.Tensor {
+	c, hz, wz := z.Dim(0), z.Dim(1), z.Dim(2)
+	cx, hx, wx := x.Dim(0), x.Dim(1), x.Dim(2)
+	if c != cx {
+		panic(fmt.Sprintf("track: xcorr channel mismatch %d vs %d", c, cx))
+	}
+	oh, ow := hx-hz+1, wx-wz+1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("track: exemplar %v larger than search %v", z.Shape(), x.Shape()))
+	}
+	out := tensor.New(c, oh, ow)
+	for ch := 0; ch < c; ch++ {
+		zd := z.Data[ch*hz*wz:]
+		xd := x.Data[ch*hx*wx:]
+		od := out.Data[ch*oh*ow:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for ky := 0; ky < hz; ky++ {
+					xrow := xd[(oy+ky)*wx+ox:]
+					zrow := zd[ky*wz:]
+					for kx := 0; kx < wz; kx++ {
+						s += zrow[kx] * xrow[kx]
+					}
+				}
+				od[oy*ow+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+// DWXCorrBackward propagates the response gradient to the search features
+// (the exemplar branch is treated as a frozen template during training, a
+// standard Siamese simplification): dx[c, y+ky, x+kx] += dresp[c,y,x] *
+// z[c,ky,kx].
+func DWXCorrBackward(z, x, dresp *tensor.Tensor) *tensor.Tensor {
+	c, hz, wz := z.Dim(0), z.Dim(1), z.Dim(2)
+	hx, wx := x.Dim(1), x.Dim(2)
+	oh, ow := dresp.Dim(1), dresp.Dim(2)
+	dx := tensor.New(c, hx, wx)
+	for ch := 0; ch < c; ch++ {
+		zd := z.Data[ch*hz*wz:]
+		dd := dresp.Data[ch*oh*ow:]
+		dxd := dx.Data[ch*hx*wx:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := dd[oy*ow+ox]
+				if g == 0 {
+					continue
+				}
+				for ky := 0; ky < hz; ky++ {
+					dxrow := dxd[(oy+ky)*wx+ox:]
+					zrow := zd[ky*wz:]
+					for kx := 0; kx < wz; kx++ {
+						dxrow[kx] += g * zrow[kx]
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

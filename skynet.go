@@ -1,0 +1,30 @@
+// Package skynet is a pure-Go, stdlib-only reproduction of "SkyNet: a
+// Hardware-Efficient Method for Object Detection and Tracking on Embedded
+// Systems" (Zhang et al., MLSYS 2020).
+//
+// The repository implements the paper end to end:
+//
+//   - internal/core — the bottom-up three-stage design flow (Bundle
+//     selection, group-based PSO search, feature addition), the paper's
+//     primary contribution;
+//   - internal/backbone — the SkyNet A/B/C architectures of Table 3 plus
+//     the ResNet/VGG/AlexNet baselines of Tables 2, 8 and 9;
+//   - internal/tensor, internal/nn — the training substrate (im2col
+//     convolutions, depth-wise/point-wise layers, BatchNorm, ReLU6,
+//     feature-map reordering, SGD) with full backpropagation;
+//   - internal/dataset — a synthetic stand-in for the DAC-SDC and GOT-10k
+//     datasets matching the paper's object-size statistics (Figure 6);
+//   - internal/detect, internal/track — the YOLO-style detection back-end
+//     and the SiamRPN++/SiamMask-style trackers;
+//   - internal/quant, internal/fpga, internal/hw, internal/pipeline — the
+//     fixed-point quantizer, the Ultra96 IP-based accelerator model, the
+//     TX2/1080Ti roofline and DAC-SDC scoring, and the system pipeline;
+//   - internal/experiments — regenerators for every table and figure.
+//
+// Entry points: cmd/skynet-experiments regenerates the paper's tables,
+// cmd/skynet-search runs the bottom-up flow, cmd/skynet-train trains a
+// detector; see examples/ for library usage.
+package skynet
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"
