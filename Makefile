@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the packages with parallel kernels under the race detector;
+# the conv/GEMM tests force multi-worker execution even on one CPU.
+race:
+	$(GO) test -race ./internal/nn/... ./internal/tensor/...
+
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkMatMul|BenchmarkConvForwardSteadyState|BenchmarkTable2Backbones' -benchtime 10x .
+
+# check is the tier-1 gate: everything must pass before a commit.
+check: vet build test race

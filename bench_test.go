@@ -39,6 +39,8 @@ func BenchmarkTable2Backbones(b *testing.B) {
 			cfg := backbone.Config{Width: 0.25, InC: 3, HeadChannels: 10, MaxStride: 8, ReLU6: true}
 			g := named.Build(rng, cfg)
 			x := benchInput(rng, 1, 3, 48, 96)
+			g.Forward(x, false) // warm the GEMM scratch pool
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				g.Forward(x, false)
@@ -60,6 +62,7 @@ func BenchmarkTable4Ablation(b *testing.B) {
 			samples := gen.DetectionSet(8)
 			x, gts := detect.Batch(samples, 0, 8)
 			opt := nn.NewSGD(0.01, 0.9, 0)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				pred := g.Forward(x, true)
@@ -290,18 +293,70 @@ func BenchmarkParamCounts(b *testing.B) {
 
 // --- substrate kernels -----------------------------------------------------
 
-// BenchmarkMatMul measures the GEMM kernel at a convolution-typical shape.
+// BenchmarkMatMul measures the blocked GEMM kernel at convolution-typical
+// shapes: the original 96×432×512 regression shape plus the two SkyNet
+// im2col shapes (3×3 stem conv on a 48×96 frame at width 0.25, and the
+// widest pointwise conv). Reports GFLOPS and allocs/op — the packed kernel
+// must be allocation-free once its scratch pool is warm.
 func BenchmarkMatMul(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"96x432x512", 96, 432, 512},
+		{"SkyNetStem_48x27x2560", 48, 27, 2560},
+		{"SkyNetPW_96x48x1280", 96, 48, 1280},
+	}
 	rng := rand.New(rand.NewSource(1))
-	a := tensor.New(96, 432)
-	a.RandNormal(rng, 0, 1)
-	c := tensor.New(432, 512)
-	c.RandNormal(rng, 0, 1)
-	out := tensor.New(96, 512)
-	b.SetBytes(96 * 432 * 512 * 4 / 1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tensor.MatMulInto(out, a, c)
+	for _, s := range shapes {
+		b.Run(s.name, func(b *testing.B) {
+			a := tensor.New(s.m, s.k)
+			a.RandNormal(rng, 0, 1)
+			c := tensor.New(s.k, s.n)
+			c.RandNormal(rng, 0, 1)
+			out := tensor.New(s.m, s.n)
+			tensor.MatMulInto(out, a, c) // warm the GEMM scratch pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(out, a, c)
+			}
+			flops := 2 * float64(s.m) * float64(s.k) * float64(s.n)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkConvForwardSteadyState measures the serial conv hot path with
+// output reuse on: once warm, Conv2D and DWConv3 forwards must report
+// 0 allocs/op (the zero-allocation steady-state contract).
+func BenchmarkConvForwardSteadyState(b *testing.B) {
+	old := nn.ReuseOutputs
+	nn.ReuseOutputs = true
+	defer func() { nn.ReuseOutputs = old }()
+	rng := rand.New(rand.NewSource(1))
+	layers := []struct {
+		name string
+		l    nn.Layer
+	}{
+		{"Conv2D_8to16_16x16", nn.NewConv2D(rng, 8, 16, 3, 1, 1, true)},
+		{"DWConv3_48_20x40", nn.NewDWConv3(rng, 48, 3, true)},
+	}
+	inputs := []*tensor.Tensor{
+		benchInput(rng, 1, 8, 16, 16),
+		benchInput(rng, 1, 48, 20, 40),
+	}
+	for i, lc := range layers {
+		b.Run(lc.name, func(b *testing.B) {
+			xs := []*tensor.Tensor{inputs[i]}
+			lc.l.Forward(xs, false)
+			lc.l.Forward(xs, false) // warm layer caches and scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for j := 0; j < b.N; j++ {
+				lc.l.Forward(xs, false)
+			}
+		})
 	}
 }
 
@@ -311,6 +366,7 @@ func BenchmarkSkyNetBundleForward(b *testing.B) {
 	bl := bundle.Enumerate()[7] // DW3+PW+BN+ReLU6
 	layers := bl.Build(rng, 48, 96)
 	x := benchInput(rng, 1, 48, 20, 40)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cur := x

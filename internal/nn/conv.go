@@ -9,6 +9,13 @@ import (
 // Conv2D is a standard 2-D convolution over [N,C,H,W] inputs, lowered to
 // matrix multiplication via im2col. Weights have logical shape
 // [OutC, InC, K, K] and are stored flattened as [OutC, InC*K*K].
+//
+// The forward and backward passes are data-parallel over the batch. All
+// scratch — im2col buffers (one per worker), per-image tensor views, the
+// output buffer when ReuseOutputs is on, and the per-worker gradient
+// accumulators used by the parallel backward — is cached on the layer and
+// reused across calls, so the steady-state serial forward pass performs no
+// heap allocation.
 type Conv2D struct {
 	InC, OutC  int
 	K          int // square kernel size
@@ -19,9 +26,29 @@ type Conv2D struct {
 	Bias       *Param // [OutC], nil unless UseBias
 	label      string
 	x          *tensor.Tensor // cached input
-	col        *tensor.Tensor // scratch im2col buffer, reused across calls
+	col        *tensor.Tensor // serial-path im2col scratch, reused across calls
+	dcol       *tensor.Tensor // serial-path im2col gradient scratch
+	out        *tensor.Tensor // cached output buffer (ReuseOutputs)
+	imgView    *tensor.Tensor // per-image input view, repointed per image
+	omView     *tensor.Tensor // per-image output view
+	dmView     *tensor.Tensor // per-image dout view
+	dimgView   *tensor.Tensor // per-image dx view
+	wcols      []*tensor.Tensor // per-worker im2col scratch (parallel forward)
+	bw         []*convBwdBufs   // per-worker backward scratch + accumulators
 	outH, outW int
 	lastN      int
+}
+
+// convBwdBufs is one worker's private backward state. The dw/db gradient
+// accumulators exist because Param.G is shared across the whole batch:
+// concurrent accumulation into it from batch workers would race, so each
+// worker sums into its own buffers and Backward merges them in worker order
+// (making results deterministic for a fixed worker count).
+type convBwdBufs struct {
+	col  *tensor.Tensor // im2col of the worker's current image
+	dcol *tensor.Tensor // gradient of the im2col matrix
+	dw   *tensor.Tensor // weight-gradient accumulator [OutC, InC*K*K]
+	db   []float32      // bias-gradient accumulator [OutC]
 }
 
 // NewConv2D constructs a convolution with He-initialized weights.
@@ -61,42 +88,71 @@ func (c *Conv2D) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
 	c.x = x
 	c.lastN = n
 	rows, cols := c.InC*c.K*c.K, c.outH*c.outW
+	imgSz := c.InC * h * w
+	perImg := c.OutC * cols
+	out := reuseOrNew4(c.out, n, c.OutC, c.outH, c.outW)
+	c.out = out
+	if nw := workersFor(n); nw > 1 {
+		// Data-parallel over the batch. The im2col buffers are hoisted to
+		// per-worker scratch cached on the layer: one buffer per worker for
+		// the layer's lifetime, not one per image per call.
+		c.ensureWorkerCols(nw, rows, cols)
+		parallelForWorkers(n, func(worker, i int) {
+			col := c.wcols[worker]
+			img := tensor.FromSlice(x.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
+			tensor.Im2Col(col, img, c.K, c.K, c.Stride, c.Pad)
+			om := tensor.FromSlice(out.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
+			if c.Bias != nil {
+				tensor.MatMulRowBiasInto(om, c.Weight.W, col, c.Bias.W)
+			} else {
+				tensor.MatMulInto(om, c.Weight.W, col)
+			}
+		})
+		return out
+	}
 	if c.col == nil || c.col.Dim(0) != rows || c.col.Dim(1) != cols {
 		c.col = tensor.New(rows, cols)
 	}
-	out := tensor.New(n, c.OutC, c.outH, c.outW)
-	perImg := c.OutC * cols
-	if workersFor(n) > 1 {
-		// Data-parallel over the batch with per-goroutine im2col buffers.
-		cols2 := cols
-		parallelFor(n, func(i int) {
-			col := tensor.New(rows, cols2)
-			img := tensor.FromSlice(x.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], c.InC, h, w)
-			tensor.Im2Col(col, img, c.K, c.K, c.Stride, c.Pad)
-			om := tensor.FromSlice(out.Data[i*perImg:(i+1)*perImg], c.OutC, cols2)
-			tensor.MatMulInto(om, c.Weight.W, col)
-		})
-	} else {
-		for i := 0; i < n; i++ {
-			img := tensor.FromSlice(x.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], c.InC, h, w)
-			tensor.Im2Col(c.col, img, c.K, c.K, c.Stride, c.Pad)
-			om := tensor.FromSlice(out.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
-			tensor.MatMulInto(om, c.Weight.W, c.col)
-		}
-	}
-	if c.Bias != nil {
-		b := c.Bias.W.Data
-		for i := 0; i < n; i++ {
-			for o := 0; o < c.OutC; o++ {
-				base := (i*c.OutC + o) * cols
-				bv := b[o]
-				for j := 0; j < cols; j++ {
-					out.Data[base+j] += bv
-				}
-			}
+	for i := 0; i < n; i++ {
+		c.imgView = viewInto3(c.imgView, x.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
+		tensor.Im2Col(c.col, c.imgView, c.K, c.K, c.Stride, c.Pad)
+		c.omView = viewInto2(c.omView, out.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
+		// The bias add is fused into the GEMM epilogue rather than a
+		// separate pass over the output.
+		if c.Bias != nil {
+			tensor.MatMulRowBiasInto(c.omView, c.Weight.W, c.col, c.Bias.W)
+		} else {
+			tensor.MatMulInto(c.omView, c.Weight.W, c.col)
 		}
 	}
 	return out
+}
+
+// ensureWorkerCols sizes the per-worker im2col scratch for the parallel
+// forward pass.
+func (c *Conv2D) ensureWorkerCols(nw, rows, cols int) {
+	if len(c.wcols) < nw || c.wcols[0].Dim(0) != rows || c.wcols[0].Dim(1) != cols {
+		c.wcols = make([]*tensor.Tensor, nw)
+		for i := range c.wcols {
+			c.wcols[i] = tensor.New(rows, cols)
+		}
+	}
+}
+
+// ensureBackwardBufs sizes the per-worker backward scratch and gradient
+// accumulators.
+func (c *Conv2D) ensureBackwardBufs(nw, rows, cols int) {
+	if len(c.bw) < nw || c.bw[0].col.Dim(0) != rows || c.bw[0].col.Dim(1) != cols {
+		c.bw = make([]*convBwdBufs, nw)
+		for i := range c.bw {
+			c.bw[i] = &convBwdBufs{
+				col:  tensor.New(rows, cols),
+				dcol: tensor.New(rows, cols),
+				dw:   tensor.New(c.OutC, rows),
+				db:   make([]float32, c.OutC),
+			}
+		}
+	}
 }
 
 func (c *Conv2D) Backward(dout *tensor.Tensor) []*tensor.Tensor {
@@ -104,28 +160,72 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) []*tensor.Tensor {
 	h, w := c.x.Dim(2), c.x.Dim(3)
 	cols := c.outH * c.outW
 	rows := c.InC * c.K * c.K
-	dx := tensor.New(n, c.InC, h, w)
-	dcol := tensor.New(rows, cols)
-	dimg := tensor.New(c.InC, h, w)
+	imgSz := c.InC * h * w
 	perImg := c.OutC * cols
-	for i := 0; i < n; i++ {
-		img := tensor.FromSlice(c.x.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], c.InC, h, w)
-		tensor.Im2Col(c.col, img, c.K, c.K, c.Stride, c.Pad)
-		dm := tensor.FromSlice(dout.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
-		// dW += dout · colᵀ
-		tensor.MatMulTransposeBAddInto(c.Weight.G, dm, c.col)
-		// dcol = Wᵀ · dout
-		tensor.MatMulTransposeAInto(dcol, c.Weight.W, dm)
-		tensor.Col2Im(dimg, dcol, c.K, c.K, c.Stride, c.Pad)
-		copy(dx.Data[i*c.InC*h*w:(i+1)*c.InC*h*w], dimg.Data)
+	dx := tensor.New(n, c.InC, h, w)
+	if nw := workersFor(n); nw > 1 {
+		c.ensureBackwardBufs(nw, rows, cols)
+		for i := 0; i < nw; i++ {
+			c.bw[i].dw.Zero()
+			for o := range c.bw[i].db {
+				c.bw[i].db[o] = 0
+			}
+		}
+		parallelForWorkers(n, func(worker, i int) {
+			bb := c.bw[worker]
+			img := tensor.FromSlice(c.x.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
+			tensor.Im2Col(bb.col, img, c.K, c.K, c.Stride, c.Pad)
+			dm := tensor.FromSlice(dout.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
+			// dW += dout · colᵀ, into the worker-private accumulator.
+			tensor.MatMulTransposeBAddInto(bb.dw, dm, bb.col)
+			// dcol = Wᵀ · dout
+			tensor.MatMulTransposeAInto(bb.dcol, c.Weight.W, dm)
+			dimg := tensor.FromSlice(dx.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
+			tensor.Col2Im(dimg, bb.dcol, c.K, c.K, c.Stride, c.Pad)
+			if c.Bias != nil {
+				for o := 0; o < c.OutC; o++ {
+					var s float32
+					for _, g := range dout.Data[i*perImg+o*cols : i*perImg+(o+1)*cols] {
+						s += g
+					}
+					bb.db[o] += s
+				}
+			}
+		})
+		// Merge worker accumulators in worker order (deterministic for a
+		// fixed worker count).
+		for i := 0; i < nw; i++ {
+			c.Weight.G.AddInPlace(c.bw[i].dw)
+			if c.Bias != nil {
+				for o, v := range c.bw[i].db {
+					c.Bias.G.Data[o] += v
+				}
+			}
+		}
+		return []*tensor.Tensor{dx}
 	}
-	if c.Bias != nil {
-		for i := 0; i < n; i++ {
+	if c.col == nil || c.col.Dim(0) != rows || c.col.Dim(1) != cols {
+		c.col = tensor.New(rows, cols)
+	}
+	if c.dcol == nil || c.dcol.Dim(0) != rows || c.dcol.Dim(1) != cols {
+		c.dcol = tensor.New(rows, cols)
+	}
+	for i := 0; i < n; i++ {
+		c.imgView = viewInto3(c.imgView, c.x.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
+		tensor.Im2Col(c.col, c.imgView, c.K, c.K, c.Stride, c.Pad)
+		c.dmView = viewInto2(c.dmView, dout.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
+		// dW += dout · colᵀ
+		tensor.MatMulTransposeBAddInto(c.Weight.G, c.dmView, c.col)
+		// dcol = Wᵀ · dout
+		tensor.MatMulTransposeAInto(c.dcol, c.Weight.W, c.dmView)
+		// Scatter straight into this image's slice of dx (Col2Im zeroes it).
+		c.dimgView = viewInto3(c.dimgView, dx.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
+		tensor.Col2Im(c.dimgView, c.dcol, c.K, c.K, c.Stride, c.Pad)
+		if c.Bias != nil {
 			for o := 0; o < c.OutC; o++ {
-				base := (i*c.OutC + o) * cols
 				var s float32
-				for j := 0; j < cols; j++ {
-					s += dout.Data[base+j]
+				for _, g := range dout.Data[i*perImg+o*cols : i*perImg+(o+1)*cols] {
+					s += g
 				}
 				c.Bias.G.Data[o] += s
 			}
@@ -157,6 +257,7 @@ type DWConv3 struct {
 	Weight  *Param // [C, K, K]
 	Bias    *Param // [C]
 	x       *tensor.Tensor
+	out     *tensor.Tensor // cached output buffer (ReuseOutputs)
 	outH    int
 	outW    int
 }
@@ -189,53 +290,76 @@ func (d *DWConv3) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
 	d.outH = tensor.ConvOut(h, d.K, d.Stride, d.Pad)
 	d.outW = tensor.ConvOut(w, d.K, d.Stride, d.Pad)
 	d.x = x
-	out := tensor.New(n, d.C, d.outH, d.outW)
+	out := reuseOrNew4(d.out, n, d.C, d.outH, d.outW)
+	d.out = out
 	// Each (image, channel) plane is independent — parallelize the product.
-	parallelFor(n*d.C, func(idx int) {
-		ch := idx % d.C
-		in := x.Data[idx*h*w:]
-		ob := out.Data[idx*d.outH*d.outW:]
-		ker := d.Weight.W.Data[ch*d.K*d.K:]
-		var bias float32
-		if d.Bias != nil {
-			bias = d.Bias.W.Data[ch]
+	// The serial path calls the plane kernel directly: routing it through a
+	// closure would heap-allocate the closure even when no goroutine is
+	// spawned (the fn parameter escapes via parallelFor's go branch), which
+	// would break the steady-state zero-allocation contract.
+	if workersFor(n*d.C) == 1 {
+		for idx := 0; idx < n*d.C; idx++ {
+			d.forwardPlane(x.Data, out.Data, h, w, idx)
 		}
-		oi := 0
-		for oy := 0; oy < d.outH; oy++ {
-			for ox := 0; ox < d.outW; ox++ {
-				s := bias
-				for ky := 0; ky < d.K; ky++ {
-					iy := oy*d.Stride - d.Pad + ky
-					if iy < 0 || iy >= h {
+	} else {
+		parallelFor(n*d.C, func(idx int) {
+			d.forwardPlane(x.Data, out.Data, h, w, idx)
+		})
+	}
+	return out
+}
+
+// forwardPlane computes one (image, channel) output plane; idx indexes the
+// flattened n×C plane grid.
+func (d *DWConv3) forwardPlane(xd, od []float32, h, w, idx int) {
+	ch := idx % d.C
+	in := xd[idx*h*w:]
+	ob := od[idx*d.outH*d.outW:]
+	ker := d.Weight.W.Data[ch*d.K*d.K:]
+	var bias float32
+	if d.Bias != nil {
+		bias = d.Bias.W.Data[ch]
+	}
+	oi := 0
+	for oy := 0; oy < d.outH; oy++ {
+		for ox := 0; ox < d.outW; ox++ {
+			s := bias
+			for ky := 0; ky < d.K; ky++ {
+				iy := oy*d.Stride - d.Pad + ky
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < d.K; kx++ {
+					ix := ox*d.Stride - d.Pad + kx
+					if ix < 0 || ix >= w {
 						continue
 					}
-					for kx := 0; kx < d.K; kx++ {
-						ix := ox*d.Stride - d.Pad + kx
-						if ix < 0 || ix >= w {
-							continue
-						}
-						s += in[iy*w+ix] * ker[ky*d.K+kx]
-					}
+					s += in[iy*w+ix] * ker[ky*d.K+kx]
 				}
-				ob[oi] = s
-				oi++
 			}
+			ob[oi] = s
+			oi++
 		}
-	})
-	return out
+	}
 }
 
 func (d *DWConv3) Backward(dout *tensor.Tensor) []*tensor.Tensor {
 	x := d.x
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	dx := tensor.New(n, d.C, h, w)
-	for i := 0; i < n; i++ {
-		for ch := 0; ch < d.C; ch++ {
+	// Parallel over channels, with the batch loop inside: every write
+	// target — Weight.G[ch], Bias.G[ch] and the (i, ch) planes of dx — is
+	// private to one channel, so this partitioning is race-free without
+	// per-worker accumulators (contrast Conv2D.Backward, where the whole
+	// weight tensor is shared across the batch and workers must merge).
+	parallelFor(d.C, func(ch int) {
+		ker := d.Weight.W.Data[ch*d.K*d.K:]
+		dker := d.Weight.G.Data[ch*d.K*d.K:]
+		var dbias float32
+		for i := 0; i < n; i++ {
 			in := x.Data[(i*d.C+ch)*h*w:]
 			dob := dout.Data[(i*d.C+ch)*d.outH*d.outW:]
 			dxb := dx.Data[(i*d.C+ch)*h*w:]
-			ker := d.Weight.W.Data[ch*d.K*d.K:]
-			dker := d.Weight.G.Data[ch*d.K*d.K:]
 			oi := 0
 			for oy := 0; oy < d.outH; oy++ {
 				for ox := 0; ox < d.outW; ox++ {
@@ -261,14 +385,15 @@ func (d *DWConv3) Backward(dout *tensor.Tensor) []*tensor.Tensor {
 				}
 			}
 			if d.Bias != nil {
-				var s float32
 				for _, g := range dout.Data[(i*d.C+ch)*d.outH*d.outW : (i*d.C+ch+1)*d.outH*d.outW] {
-					s += g
+					dbias += g
 				}
-				d.Bias.G.Data[ch] += s
 			}
 		}
-	}
+		if d.Bias != nil {
+			d.Bias.G.Data[ch] += dbias
+		}
+	})
 	return []*tensor.Tensor{dx}
 }
 

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skynet/internal/tensor"
+)
+
+// withParallelism pins both the layer-level and GEMM-level worker counts for
+// the duration of fn.
+func withParallelism(nnWorkers, gemmWorkers int, fn func()) {
+	oldNN, oldT := MaxParallelism, tensor.MaxParallelism
+	MaxParallelism, tensor.MaxParallelism = nnWorkers, gemmWorkers
+	defer func() { MaxParallelism, tensor.MaxParallelism = oldNN, oldT }()
+	fn()
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var worst float64
+	for i, v := range a {
+		d := math.Abs(float64(v - b[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// runConvStep runs one forward+backward of a fresh Conv2D at the given
+// parallelism and returns output, dx, dW, db.
+func runConvStep(t *testing.T, workers int, seed int64) (out, dx, dw, db []float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	l := NewConv2D(rng, 4, 8, 3, 1, 1, true)
+	x := randInput(rng, 6, 4, 14, 14)
+	dout := randInput(rng, 6, 8, 14, 14)
+	var o, d *tensor.Tensor
+	withParallelism(workers, 1, func() {
+		o = l.Forward([]*tensor.Tensor{x}, true)
+		d = l.Backward(dout)[0]
+	})
+	return o.Data, d.Data, l.Weight.G.Data, l.Bias.G.Data
+}
+
+// TestConv2DParallelMatchesSerial checks that the batch-parallel forward and
+// backward (per-worker im2col scratch, per-worker gradient accumulators)
+// agree with the serial path. The shapes are big enough that the GEMMs take
+// the blocked kernel. Run under -race this also proves the parallel
+// backward is properly synchronized.
+func TestConv2DParallelMatchesSerial(t *testing.T) {
+	outS, dxS, dwS, dbS := runConvStep(t, 1, 77)
+	outP, dxP, dwP, dbP := runConvStep(t, 4, 77)
+	if d := maxAbsDiff(outS, outP); d != 0 {
+		t.Errorf("forward outputs differ by %g between serial and parallel", d)
+	}
+	if d := maxAbsDiff(dxS, dxP); d != 0 {
+		t.Errorf("dx differs by %g", d)
+	}
+	// Weight/bias gradients are merged from per-worker accumulators, which
+	// reorders float32 summation across the batch — allow rounding slack.
+	if d := maxAbsDiff(dwS, dwP); d > 1e-3 {
+		t.Errorf("dW differs by %g", d)
+	}
+	if d := maxAbsDiff(dbS, dbP); d > 1e-3 {
+		t.Errorf("dBias differs by %g", d)
+	}
+}
+
+// TestDWConv3ParallelBackwardMatchesSerial checks the channel-partitioned
+// depth-wise backward against the serial loop.
+func TestDWConv3ParallelBackwardMatchesSerial(t *testing.T) {
+	run := func(workers int) (dx, dw, db []float32) {
+		rng := rand.New(rand.NewSource(99))
+		l := NewDWConv3(rng, 6, 3, true)
+		x := randInput(rng, 3, 6, 10, 10)
+		dout := randInput(rng, 3, 6, 10, 10)
+		var d *tensor.Tensor
+		withParallelism(workers, 1, func() {
+			l.Forward([]*tensor.Tensor{x}, true)
+			d = l.Backward(dout)[0]
+		})
+		return d.Data, l.Weight.G.Data, l.Bias.G.Data
+	}
+	dxS, dwS, dbS := run(1)
+	dxP, dwP, dbP := run(4)
+	// Channel partitioning preserves the per-channel accumulation order
+	// exactly, so all three gradients must be bitwise identical.
+	if d := maxAbsDiff(dxS, dxP); d != 0 {
+		t.Errorf("dx differs by %g", d)
+	}
+	if d := maxAbsDiff(dwS, dwP); d != 0 {
+		t.Errorf("dW differs by %g", d)
+	}
+	if d := maxAbsDiff(dbS, dbP); d != 0 {
+		t.Errorf("dBias differs by %g", d)
+	}
+}
+
+// TestConvGradientsParallel re-runs the finite-difference gradient checks
+// with the batch-parallel backward engaged (batch > 1, forced workers).
+func TestConvGradientsParallel(t *testing.T) {
+	withParallelism(4, 4, func() {
+		rng := rand.New(rand.NewSource(21))
+		l := NewConv2D(rng, 2, 3, 3, 1, 1, true)
+		checkLayerGradients(t, l, randInput(rng, 4, 2, 5, 4), true)
+
+		dw := NewDWConv3(rng, 3, 3, true)
+		checkLayerGradients(t, dw, randInput(rng, 4, 3, 5, 4), true)
+	})
+}
+
+// TestConv2DForwardSteadyStateAllocs pins the zero-allocation contract of
+// the serial conv forward: with output reuse on and all scratch warm, a
+// Forward call must not touch the heap.
+func TestConv2DForwardSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful without -race")
+	}
+	oldReuse := ReuseOutputs
+	ReuseOutputs = true
+	defer func() { ReuseOutputs = oldReuse }()
+	withParallelism(1, 1, func() {
+		rng := rand.New(rand.NewSource(5))
+		l := NewConv2D(rng, 8, 16, 3, 1, 1, true)
+		x := randInput(rng, 1, 8, 16, 16)
+		xs := []*tensor.Tensor{x}
+		fwd := func() { l.Forward(xs, false) }
+		fwd()
+		fwd() // warm layer caches and the GEMM scratch pool
+		if allocs := testing.AllocsPerRun(20, fwd); allocs != 0 {
+			t.Errorf("Conv2D steady-state forward: %v allocs/op, want 0", allocs)
+		}
+
+		d := NewDWConv3(rng, 8, 3, false)
+		dfwd := func() { d.Forward(xs, false) }
+		dfwd()
+		dfwd()
+		if allocs := testing.AllocsPerRun(20, dfwd); allocs != 0 {
+			t.Errorf("DWConv3 steady-state forward: %v allocs/op, want 0", allocs)
+		}
+	})
+}
+
+// TestReuseOutputsAliasing documents the ownership rule: with ReuseOutputs
+// on, a layer's output buffer is reused by its next same-shape Forward.
+func TestReuseOutputsAliasing(t *testing.T) {
+	oldReuse := ReuseOutputs
+	defer func() { ReuseOutputs = oldReuse }()
+	rng := rand.New(rand.NewSource(6))
+	x := randInput(rng, 1, 2, 6, 6)
+
+	ReuseOutputs = true
+	l := NewConv2D(rng, 2, 3, 3, 1, 1, false)
+	o1 := l.Forward([]*tensor.Tensor{x}, false)
+	o2 := l.Forward([]*tensor.Tensor{x}, false)
+	if &o1.Data[0] != &o2.Data[0] {
+		t.Error("ReuseOutputs on: successive Forward calls must share storage")
+	}
+
+	ReuseOutputs = false
+	o3 := l.Forward([]*tensor.Tensor{x}, false)
+	o4 := l.Forward([]*tensor.Tensor{x}, false)
+	if &o3.Data[0] == &o4.Data[0] {
+		t.Error("ReuseOutputs off: outputs must be independent tensors")
+	}
+}

@@ -34,14 +34,8 @@ func (l *Linear) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
 	l.x = x
 	n := x.Dim(0)
 	out := tensor.New(n, l.Out)
-	// out = x · Wᵀ
-	tensor.MatMulTransposeBInto(out, x, l.Weight.W)
-	for i := 0; i < n; i++ {
-		row := out.Data[i*l.Out : (i+1)*l.Out]
-		for j, b := range l.Bias.W.Data {
-			row[j] += b
-		}
-	}
+	// out = x · Wᵀ + bias, with the bias add fused into the GEMM epilogue.
+	tensor.MatMulTransposeBColBiasInto(out, x, l.Weight.W, l.Bias.W)
 	return out
 }
 

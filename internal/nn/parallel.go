@@ -28,27 +28,46 @@ func workersFor(n int) int {
 // to a plain loop (no goroutine overhead). fn must not share mutable state
 // across indices.
 func parallelFor(n int, fn func(i int)) {
-	w := workersFor(n)
-	if w == 1 {
+	if workersFor(n) == 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	parallelForWorkers(n, func(_, i int) { fn(i) })
+}
+
+// parallelForWorkers is parallelFor with the chunk (worker) index exposed:
+// fn(worker, i) is called with 0 ≤ worker < workersFor(n), and all indices
+// of one chunk share a worker. Callers use the worker index to address
+// per-worker scratch buffers and gradient accumulators; two invocations
+// with the same worker index never run concurrently. Chunk assignment is
+// deterministic for a fixed worker count, so per-worker accumulators merged
+// in worker order give reproducible results.
+func parallelForWorkers(n int, fn func(worker, i int)) {
+	w := workersFor(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
+	worker := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(worker, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				fn(i)
+				fn(worker, i)
 			}
-		}(lo, hi)
+		}(worker, lo, hi)
+		worker++
 	}
 	wg.Wait()
 }

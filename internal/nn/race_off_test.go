@@ -1,0 +1,7 @@
+//go:build !race
+
+package nn
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// tests skip under -race because the instrumentation itself allocates.
+const raceEnabled = false

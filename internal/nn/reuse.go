@@ -1,0 +1,54 @@
+package nn
+
+import "skynet/internal/tensor"
+
+// ReuseOutputs switches the convolution layers into steady-state buffer
+// mode: each layer keeps its output tensor and hands the same storage back
+// on every Forward whose shape matches, making the inference hot path
+// allocation-free once warm.
+//
+// Ownership rule: with ReuseOutputs on, a layer's output is owned by the
+// layer and is only valid until that layer's next Forward call. Callers that
+// need to retain a result across steps must Clone it. The default (false)
+// preserves the allocate-per-call semantics, where outputs are independent
+// tensors the caller owns.
+var ReuseOutputs bool
+
+// reuseOrNew4 returns cached when output reuse is enabled and the [d0, d1,
+// d2, d3] shape matches, and a fresh zero tensor otherwise. Layers store the
+// returned tensor back into their cache slot so the buffer is found next
+// call. The arity is fixed (rather than variadic) so the shape slice is only
+// materialized on the miss path — a variadic signature would allocate the
+// []int argument on every call, even on cache hits.
+func reuseOrNew4(cached *tensor.Tensor, d0, d1, d2, d3 int) *tensor.Tensor {
+	if ReuseOutputs && cached != nil && cached.Rank() == 4 &&
+		cached.Dim(0) == d0 && cached.Dim(1) == d1 &&
+		cached.Dim(2) == d2 && cached.Dim(3) == d3 {
+		return cached
+	}
+	return tensor.New(d0, d1, d2, d3)
+}
+
+// viewInto2 repoints a cached rank-2 view tensor at data, creating it on
+// first use (or when the shape changed). Layers use this to slice one image
+// out of a batch without allocating a header per call; the returned view
+// aliases data and is only valid until the next viewInto2 on the same cache
+// slot. Fixed arity for the same reason as reuseOrNew4.
+func viewInto2(cached *tensor.Tensor, data []float32, d0, d1 int) *tensor.Tensor {
+	if cached != nil && cached.Rank() == 2 &&
+		cached.Dim(0) == d0 && cached.Dim(1) == d1 {
+		cached.Data = data
+		return cached
+	}
+	return tensor.FromSlice(data, d0, d1)
+}
+
+// viewInto3 is viewInto2 for rank-3 [C, H, W] image views.
+func viewInto3(cached *tensor.Tensor, data []float32, d0, d1, d2 int) *tensor.Tensor {
+	if cached != nil && cached.Rank() == 3 &&
+		cached.Dim(0) == d0 && cached.Dim(1) == d1 && cached.Dim(2) == d2 {
+		cached.Data = data
+		return cached
+	}
+	return tensor.FromSlice(data, d0, d1, d2)
+}

@@ -1,0 +1,455 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the blocked, packed GEMM kernel that backs every
+// exported MatMul* variant. The organization is the classic three-level
+// blocking scheme (Goto/BLIS):
+//
+//	for jc in blocks of NC over n:            // C/B column block
+//	  for pc in blocks of KC over k:          // shared inner dimension
+//	    pack B[pc:pc+KC, jc:jc+NC] into bp    // NR-column panels, padded
+//	    for ic in blocks of MC over m:        // A/C row block
+//	      pack A[ic:ic+MC, pc:pc+KC] into ap  // MR-row panels, padded
+//	      micro-kernel over MR×NR tiles of C
+//
+// Packing rewrites the operands into the exact streaming order the
+// micro-kernel consumes (panel-major, fully dense, zero-padded to the tile
+// size), which removes strided access from the inner loop and makes the
+// transpose variants cost the same as the plain ones. The micro-kernel keeps
+// an MR×NR accumulator block in registers and performs MR·NR multiply-adds
+// per iteration of the packed k loop.
+//
+// Parallelism splits the n dimension (columns of B and C) into contiguous
+// chunks, one per worker; each worker runs the full blocked loop nest on its
+// chunk with private packing scratch, so workers share nothing but
+// read-only inputs. Because the k-summation order of every C element is
+// identical regardless of the split, results are bitwise-independent of the
+// worker count.
+const (
+	gemmMR = 4   // micro-tile rows (accumulator block height)
+	gemmNR = 4   // micro-tile cols (accumulator block width)
+	gemmKC = 256 // k-dimension cache block (packed panels stay L1-resident)
+	gemmMC = 64  // m-dimension cache block (A block, L2)
+	gemmNC = 512 // n-dimension cache block (B block, bounds scratch size)
+)
+
+// gemmMinBlockedMACs is the problem size (m·n·k multiply-accumulates) below
+// which the exported entry points fall back to the naive reference kernels:
+// for tiny operands the packing overhead outweighs the blocking win. It is a
+// variable so tests can force either path.
+var gemmMinBlockedMACs = 1 << 13
+
+// gemmMinBlockedK is the inner-dimension size below which the naive kernels
+// win regardless of total problem size: the micro-kernel's advantage comes
+// from long packed dot products (B-panel reuse across MR rows), and with a
+// short k the per-call packing plus tile load/store overhead is never
+// amortized. Measured crossover on the benchmark host is k ≈ 48 (SkyNet's
+// scaled pointwise convs, k ≤ 48, run ~1.2–1.5× faster naive; k ≥ 64 shapes
+// favor the blocked path). A variable so tests can force either path.
+var gemmMinBlockedK = 48
+
+// gemmUseNaive decides whether a call takes the naive reference kernels
+// instead of the blocked path.
+func gemmUseNaive(m, n, k int) bool {
+	return m*n*k < gemmMinBlockedMACs || k < gemmMinBlockedK
+}
+
+// gemmParallelMACs is the problem size below which a GEMM runs on the
+// calling goroutine only.
+var gemmParallelMACs = 1 << 18
+
+// MaxParallelism caps the worker count used by parallel GEMM calls; 0 (the
+// default) uses GOMAXPROCS. Exposed so benchmarks and tests can pin it.
+// Results do not depend on the setting (see determinism note above).
+var MaxParallelism = 0
+
+// gemmCall fully describes one C (+)= op(A)·op(B) (+ bias) invocation on raw
+// row-major slices. lda/ldb are the row strides of a and b as stored (i.e.
+// of the untransposed layouts).
+type gemmCall struct {
+	a, b, c        []float32
+	m, n, k        int
+	lda, ldb, ldc  int
+	aTrans, bTrans bool
+	acc            bool      // accumulate into C instead of overwriting
+	rowBias        []float32 // len m; added to C row i on the overwrite pass
+	colBias        []float32 // len n; added to C col j on the overwrite pass
+}
+
+// gemmScratch holds one worker's private packing buffers. Buffers are
+// allocated once at the maximum block size and retained, so steady-state
+// GEMM calls allocate nothing.
+type gemmScratch struct {
+	ap []float32 // packed A block: MC×KC, MR-row panels
+	bp []float32 // packed B block: KC×NC, NR-column panels
+}
+
+func newGemmScratch() *gemmScratch {
+	return &gemmScratch{
+		ap: make([]float32, gemmMC*gemmKC),
+		bp: make([]float32, gemmKC*gemmNC),
+	}
+}
+
+var gemmScratchPool = sync.Pool{New: func() any { return newGemmScratch() }}
+
+// gemm wraps a call with the completion group used by the worker pool.
+type gemm struct {
+	call gemmCall
+	wg   sync.WaitGroup
+}
+
+var gemmPool = sync.Pool{New: func() any { return new(gemm) }}
+
+type gemmJob struct {
+	g      *gemm
+	j0, j1 int
+}
+
+var (
+	gemmWorkersOnce sync.Once
+	gemmJobs        chan gemmJob
+)
+
+// startGemmWorkers lazily spins up the persistent worker pool. Each worker
+// owns its packing scratch for its whole lifetime, so dispatching work to
+// the pool performs no per-call allocation. The pool is sized for the
+// machine but never below 8, so tests that raise MaxParallelism on small
+// machines still exercise real concurrency.
+func startGemmWorkers() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	gemmJobs = make(chan gemmJob, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			s := newGemmScratch()
+			for j := range gemmJobs {
+				j.g.call.run(j.j0, j.j1, s)
+				j.g.wg.Done()
+			}
+		}()
+	}
+}
+
+// gemmWorkerCount decides how many column chunks to split a call into.
+func gemmWorkerCount(m, n, k int) int {
+	w := MaxParallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 {
+		return 1
+	}
+	if m*n*k < gemmParallelMACs {
+		return 1
+	}
+	if byN := n / gemmNR; w > byN {
+		w = byN
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// gemmExec runs a call, splitting it across the worker pool when profitable.
+// The caller always executes the first chunk itself so progress never
+// depends on pool capacity.
+func gemmExec(c gemmCall) {
+	w := gemmWorkerCount(c.m, c.n, c.k)
+	if w <= 1 {
+		s := gemmScratchPool.Get().(*gemmScratch)
+		c.run(0, c.n, s)
+		gemmScratchPool.Put(s)
+		return
+	}
+	gemmWorkersOnce.Do(startGemmWorkers)
+	g := gemmPool.Get().(*gemm)
+	g.call = c
+	chunk := (c.n + w - 1) / w
+	chunk = (chunk + gemmNR - 1) / gemmNR * gemmNR
+	jobs := 0
+	for j0 := chunk; j0 < c.n; j0 += chunk {
+		jobs++
+	}
+	g.wg.Add(jobs)
+	for j0 := chunk; j0 < c.n; j0 += chunk {
+		gemmJobs <- gemmJob{g: g, j0: j0, j1: min(j0+chunk, c.n)}
+	}
+	s := gemmScratchPool.Get().(*gemmScratch)
+	g.call.run(0, min(chunk, c.n), s)
+	gemmScratchPool.Put(s)
+	g.wg.Wait()
+	gemmPool.Put(g)
+}
+
+// run executes the blocked loop nest over columns [j0, j1) of C.
+func (g *gemmCall) run(j0, j1 int, s *gemmScratch) {
+	for jc := j0; jc < j1; jc += gemmNC {
+		nc := min(gemmNC, j1-jc)
+		for pc := 0; pc < g.k; pc += gemmKC {
+			kc := min(gemmKC, g.k-pc)
+			g.packB(s.bp, pc, kc, jc, nc)
+			overwrite := pc == 0 && !g.acc
+			bias := pc == 0
+			for ic := 0; ic < g.m; ic += gemmMC {
+				mc := min(gemmMC, g.m-ic)
+				g.packA(s.ap, ic, mc, pc, kc)
+				g.macroKernel(s, ic, mc, jc, nc, kc, overwrite, bias)
+			}
+		}
+	}
+}
+
+// macroKernel sweeps the MR×NR micro-tiles of the current (ic, jc) block.
+func (g *gemmCall) macroKernel(s *gemmScratch, ic, mc, jc, nc, kc int, overwrite, bias bool) {
+	var tile [gemmMR * gemmNR]float32
+	for jr := 0; jr < nc; jr += gemmNR {
+		nr := min(gemmNR, nc-jr)
+		bp := s.bp[(jr/gemmNR)*kc*gemmNR:]
+		for ir := 0; ir < mc; ir += gemmMR {
+			mr := min(gemmMR, mc-ir)
+			ap := s.ap[(ir/gemmMR)*kc*gemmMR:]
+			microKernel(kc, ap, bp, &tile)
+			g.storeTile(&tile, ic+ir, jc+jr, mr, nr, overwrite, bias)
+		}
+	}
+}
+
+// microKernel computes one MR×NR tile product over the packed panels: ap
+// holds kc rows of MR A-values, bp holds kc rows of NR B-values. The MR·NR
+// accumulators are few enough to stay in registers; each k iteration
+// performs MR·NR multiply-adds against MR+NR loads.
+func microKernel(kc int, ap, bp []float32, tile *[gemmMR * gemmNR]float32) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	p := 0
+	for ; p+4 <= kc; p += 4 {
+		a := ap[p*gemmMR : p*gemmMR+4*gemmMR]
+		b := bp[p*gemmNR : p*gemmNR+4*gemmNR]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		a4, a5, a6, a7 := a[4], a[5], a[6], a[7]
+		b4, b5, b6, b7 := b[4], b[5], b[6], b[7]
+		c00 += a4 * b4
+		c01 += a4 * b5
+		c02 += a4 * b6
+		c03 += a4 * b7
+		c10 += a5 * b4
+		c11 += a5 * b5
+		c12 += a5 * b6
+		c13 += a5 * b7
+		c20 += a6 * b4
+		c21 += a6 * b5
+		c22 += a6 * b6
+		c23 += a6 * b7
+		c30 += a7 * b4
+		c31 += a7 * b5
+		c32 += a7 * b6
+		c33 += a7 * b7
+		a8, a9, a10, a11 := a[8], a[9], a[10], a[11]
+		b8, b9, b10, b11 := b[8], b[9], b[10], b[11]
+		c00 += a8 * b8
+		c01 += a8 * b9
+		c02 += a8 * b10
+		c03 += a8 * b11
+		c10 += a9 * b8
+		c11 += a9 * b9
+		c12 += a9 * b10
+		c13 += a9 * b11
+		c20 += a10 * b8
+		c21 += a10 * b9
+		c22 += a10 * b10
+		c23 += a10 * b11
+		c30 += a11 * b8
+		c31 += a11 * b9
+		c32 += a11 * b10
+		c33 += a11 * b11
+		a12, a13, a14, a15 := a[12], a[13], a[14], a[15]
+		b12, b13, b14, b15 := b[12], b[13], b[14], b[15]
+		c00 += a12 * b12
+		c01 += a12 * b13
+		c02 += a12 * b14
+		c03 += a12 * b15
+		c10 += a13 * b12
+		c11 += a13 * b13
+		c12 += a13 * b14
+		c13 += a13 * b15
+		c20 += a14 * b12
+		c21 += a14 * b13
+		c22 += a14 * b14
+		c23 += a14 * b15
+		c30 += a15 * b12
+		c31 += a15 * b13
+		c32 += a15 * b14
+		c33 += a15 * b15
+	}
+	for ; p < kc; p++ {
+		a := ap[p*gemmMR : p*gemmMR+gemmMR]
+		b := bp[p*gemmNR : p*gemmNR+gemmNR]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	tile[0], tile[1], tile[2], tile[3] = c00, c01, c02, c03
+	tile[4], tile[5], tile[6], tile[7] = c10, c11, c12, c13
+	tile[8], tile[9], tile[10], tile[11] = c20, c21, c22, c23
+	tile[12], tile[13], tile[14], tile[15] = c30, c31, c32, c33
+}
+
+// storeTile writes a micro-tile into C, clipping the zero-padded edge rows
+// and columns. On the overwrite pass (first k block, non-accumulating call)
+// it also applies the fused bias epilogue.
+func (g *gemmCall) storeTile(tile *[gemmMR * gemmNR]float32, i0, j0, mr, nr int, overwrite, bias bool) {
+	for r := 0; r < mr; r++ {
+		crow := g.c[(i0+r)*g.ldc+j0 : (i0+r)*g.ldc+j0+nr]
+		trow := tile[r*gemmNR : r*gemmNR+nr]
+		if !overwrite {
+			for q, v := range trow {
+				crow[q] += v
+			}
+			continue
+		}
+		var rb float32
+		if bias && g.rowBias != nil {
+			rb = g.rowBias[i0+r]
+		}
+		if bias && g.colBias != nil {
+			cb := g.colBias[j0 : j0+nr]
+			for q, v := range trow {
+				crow[q] = v + rb + cb[q]
+			}
+		} else {
+			for q, v := range trow {
+				crow[q] = v + rb
+			}
+		}
+	}
+}
+
+// packA copies A[ic:ic+mc, pc:pc+kc] into MR-row panels: panel ir/MR holds
+// kc groups of MR consecutive row values, zero-padded past mc. The packed
+// layout is exactly the order micro4x8 reads.
+func (g *gemmCall) packA(dst []float32, ic, mc, pc, kc int) {
+	mcp := (mc + gemmMR - 1) / gemmMR * gemmMR
+	if g.aTrans {
+		// A is stored [k, m]: A(i, p) = a[p*lda + i].
+		for ir := 0; ir < mcp; ir += gemmMR {
+			di := (ir / gemmMR) * kc * gemmMR
+			lim := mc - ir
+			if lim > gemmMR {
+				lim = gemmMR
+			}
+			for p := 0; p < kc; p++ {
+				src := g.a[(pc+p)*g.lda+ic+ir:]
+				for r := 0; r < gemmMR; r++ {
+					if r < lim {
+						dst[di] = src[r]
+					} else {
+						dst[di] = 0
+					}
+					di++
+				}
+			}
+		}
+		return
+	}
+	// A is stored [m, k]: A(i, p) = a[i*lda + p]; copy row-by-row so reads
+	// stream.
+	for ir := 0; ir < mcp; ir += gemmMR {
+		base := (ir / gemmMR) * kc * gemmMR
+		for r := 0; r < gemmMR; r++ {
+			if ir+r < mc {
+				arow := g.a[(ic+ir+r)*g.lda+pc:]
+				for p := 0; p < kc; p++ {
+					dst[base+p*gemmMR+r] = arow[p]
+				}
+			} else {
+				for p := 0; p < kc; p++ {
+					dst[base+p*gemmMR+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB copies B[pc:pc+kc, jc:jc+nc] into NR-column panels: panel jr/NR
+// holds kc groups of NR consecutive column values, zero-padded past nc.
+func (g *gemmCall) packB(dst []float32, pc, kc, jc, nc int) {
+	ncp := (nc + gemmNR - 1) / gemmNR * gemmNR
+	if g.bTrans {
+		// B is stored [n, k]: B(p, j) = b[j*ldb + p]; copy column-by-column
+		// so reads stream over b rows.
+		for jr := 0; jr < ncp; jr += gemmNR {
+			base := (jr / gemmNR) * kc * gemmNR
+			for q := 0; q < gemmNR; q++ {
+				if jr+q < nc {
+					brow := g.b[(jc+jr+q)*g.ldb+pc:]
+					for p := 0; p < kc; p++ {
+						dst[base+p*gemmNR+q] = brow[p]
+					}
+				} else {
+					for p := 0; p < kc; p++ {
+						dst[base+p*gemmNR+q] = 0
+					}
+				}
+			}
+		}
+		return
+	}
+	// B is stored [k, n]: rows are contiguous, copy NR-wide strips.
+	for jr := 0; jr < ncp; jr += gemmNR {
+		di := (jr / gemmNR) * kc * gemmNR
+		lim := nc - jr
+		if lim > gemmNR {
+			lim = gemmNR
+		}
+		for p := 0; p < kc; p++ {
+			src := g.b[(pc+p)*g.ldb+jc+jr:]
+			copy(dst[di:di+lim], src[:lim])
+			for q := lim; q < gemmNR; q++ {
+				dst[di+q] = 0
+			}
+			di += gemmNR
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkGemmShapes measures the blocked kernel on SkyNet-typical GEMM
+// shapes (m = output channels, k = InC·K·K, n = outH·outW) plus one square
+// control. Reported GFLOPS counts 2·m·n·k per call.
+func BenchmarkGemmShapes(b *testing.B) {
+	shapes := []struct{ m, k, n int }{
+		{96, 432, 512},
+		{48, 27, 2560},
+		{96, 48, 1280},
+		{256, 256, 256},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range shapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := randMat(rng, s.m, s.k)
+			bb := randMat(rng, s.k, s.n)
+			c := New(s.m, s.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(c, a, bb)
+			}
+			flops := 2 * float64(s.m) * float64(s.k) * float64(s.n)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}

@@ -2,10 +2,15 @@ package tensor
 
 import "fmt"
 
+// The exported MatMul* family all lower onto one blocked, packed GEMM
+// (gemm.go). Tiny problems — where packing costs more than it saves — run on
+// the naive reference kernels (matmul_ref.go) instead; both paths compute
+// each C element with the same k-summation order, so the choice only affects
+// speed. Large calls additionally parallelize across column chunks of C; see
+// MaxParallelism.
+
 // MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n],
-// returning a new [m,n] tensor. The loop order (i,k,j) keeps the inner loop
-// streaming over contiguous rows of B and C, which is the cache-friendly
-// ordering for row-major data.
+// returning a new [m,n] tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
@@ -20,161 +25,149 @@ func MatMul(a, b *Tensor) *Tensor {
 	return c
 }
 
+// checkMatMul validates shapes for c (+)= a·b with a [m,k], b [k,n].
+func checkMatMul(name string, c, a, b *Tensor) (m, n, k int) {
+	m, k = a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v vs %v", name, a.shape, b.shape))
+	}
+	n = b.shape[1]
+	if c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s output shape %v, want [%d %d]", name, c.shape, m, n))
+	}
+	return m, n, k
+}
+
+// checkMatMulTA validates shapes for c (+)= aᵀ·b with a [k,m], b [k,n].
+func checkMatMulTA(name string, c, a, b *Tensor) (m, n, k int) {
+	k, m = a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: %s inner mismatch %v vs %v", name, a.shape, b.shape))
+	}
+	n = b.shape[1]
+	if c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s output shape %v, want [%d %d]", name, c.shape, m, n))
+	}
+	return m, n, k
+}
+
+// checkMatMulTB validates shapes for c (+)= a·bᵀ with a [m,k], b [n,k].
+func checkMatMulTB(name string, c, a, b *Tensor) (m, n, k int) {
+	m, k = a.shape[0], a.shape[1]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: %s inner mismatch %v vs %v", name, a.shape, b.shape))
+	}
+	n = b.shape[0]
+	if c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s output shape %v, want [%d %d]", name, c.shape, m, n))
+	}
+	return m, n, k
+}
+
 // MatMulInto computes c = a·b, overwriting c. c must have shape [m,n].
 func MatMulInto(c, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	if c.shape[0] != m || c.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.shape, m, n))
+	m, n, k := checkMatMul("MatMulInto", c, a, b)
+	if gemmUseNaive(m, n, k) {
+		naiveMatMulInto(c.Data, a.Data, b.Data, m, n, k)
+		return
 	}
-	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
-		crow := cd[i*n : (i+1)*n]
-		for j := range crow {
-			crow[j] = 0
-		}
-		arow := ad[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := bd[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	gemmExec(gemmCall{a: a.Data, b: b.Data, c: c.Data, m: m, n: n, k: k, lda: k, ldb: n, ldc: n})
 }
 
 // MatMulAddInto computes c += a·b without zeroing c first.
 func MatMulAddInto(c, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	if c.shape[0] != m || c.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulAddInto output shape %v, want [%d %d]", c.shape, m, n))
+	m, n, k := checkMatMul("MatMulAddInto", c, a, b)
+	if gemmUseNaive(m, n, k) {
+		naiveMatMulAddInto(c.Data, a.Data, b.Data, m, n, k)
+		return
 	}
-	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
-		crow := cd[i*n : (i+1)*n]
-		arow := ad[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := bd[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+	gemmExec(gemmCall{a: a.Data, b: b.Data, c: c.Data, m: m, n: n, k: k, lda: k, ldb: n, ldc: n, acc: true})
+}
+
+// MatMulRowBiasInto computes c = a·b with bias[i] added to every element of
+// row i — the fused epilogue used by convolution forward passes, where rows
+// are output channels. bias must have length m.
+func MatMulRowBiasInto(c, a, b, bias *Tensor) {
+	m, n, k := checkMatMul("MatMulRowBiasInto", c, a, b)
+	if bias.Len() != m {
+		panic(fmt.Sprintf("tensor: MatMulRowBiasInto bias length %d, want %d", bias.Len(), m))
+	}
+	if gemmUseNaive(m, n, k) {
+		naiveMatMulInto(c.Data, a.Data, b.Data, m, n, k)
+		for i := 0; i < m; i++ {
+			bv := bias.Data[i]
+			crow := c.Data[i*n : (i+1)*n]
+			for j := range crow {
+				crow[j] += bv
 			}
 		}
+		return
 	}
+	gemmExec(gemmCall{a: a.Data, b: b.Data, c: c.Data, m: m, n: n, k: k, lda: k, ldb: n, ldc: n, rowBias: bias.Data})
+}
+
+// MatMulTransposeAInto computes c = aᵀ·b for a of shape [k,m] and b of
+// shape [k,n]; c must have shape [m,n]. Used for weight gradients.
+func MatMulTransposeAInto(c, a, b *Tensor) {
+	m, n, k := checkMatMulTA("MatMulTransposeAInto", c, a, b)
+	if gemmUseNaive(m, n, k) {
+		naiveMatMulTransposeAInto(c.Data, a.Data, b.Data, m, n, k)
+		return
+	}
+	gemmExec(gemmCall{a: a.Data, b: b.Data, c: c.Data, m: m, n: n, k: k, lda: m, ldb: n, ldc: n, aTrans: true})
+}
+
+// MatMulTransposeAAddInto computes c += aᵀ·b for a of shape [k,m] and b of
+// shape [k,n]; c must have shape [m,n].
+func MatMulTransposeAAddInto(c, a, b *Tensor) {
+	m, n, k := checkMatMulTA("MatMulTransposeAAddInto", c, a, b)
+	if gemmUseNaive(m, n, k) {
+		naiveMatMulTransposeAAddInto(c.Data, a.Data, b.Data, m, n, k)
+		return
+	}
+	gemmExec(gemmCall{a: a.Data, b: b.Data, c: c.Data, m: m, n: n, k: k, lda: m, ldb: n, ldc: n, aTrans: true, acc: true})
+}
+
+// MatMulTransposeBInto computes c = a·bᵀ for a of shape [m,k] and b of
+// shape [n,k]; c must have shape [m,n]. Used for input gradients.
+func MatMulTransposeBInto(c, a, b *Tensor) {
+	m, n, k := checkMatMulTB("MatMulTransposeBInto", c, a, b)
+	if gemmUseNaive(m, n, k) {
+		naiveMatMulTransposeBInto(c.Data, a.Data, b.Data, m, n, k)
+		return
+	}
+	gemmExec(gemmCall{a: a.Data, b: b.Data, c: c.Data, m: m, n: n, k: k, lda: k, ldb: k, ldc: n, bTrans: true})
 }
 
 // MatMulTransposeBAddInto computes c += a·bᵀ for a of shape [m,k] and b of
 // shape [n,k]; c must have shape [m,n]. Used to accumulate weight gradients
 // across a batch.
 func MatMulTransposeBAddInto(c, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[0]
-	if b.shape[1] != k {
-		panic(fmt.Sprintf("tensor: MatMulTransposeBAddInto inner mismatch %v vs %v", a.shape, b.shape))
+	m, n, k := checkMatMulTB("MatMulTransposeBAddInto", c, a, b)
+	if gemmUseNaive(m, n, k) {
+		naiveMatMulTransposeBAddInto(c.Data, a.Data, b.Data, m, n, k)
+		return
 	}
-	if c.shape[0] != m || c.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransposeBAddInto output shape %v, want [%d %d]", c.shape, m, n))
-	}
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] += s
-		}
-	}
+	gemmExec(gemmCall{a: a.Data, b: b.Data, c: c.Data, m: m, n: n, k: k, lda: k, ldb: k, ldc: n, bTrans: true, acc: true})
 }
 
-// MatMulTransposeAInto computes c = aᵀ·b for a of shape [k,m] and b of
-// shape [k,n]; c must have shape [m,n]. Used for weight gradients.
-func MatMulTransposeAInto(c, a, b *Tensor) {
-	k, m := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	if b.shape[0] != k {
-		panic(fmt.Sprintf("tensor: MatMulTransposeAInto inner mismatch %v vs %v", a.shape, b.shape))
+// MatMulTransposeBColBiasInto computes c = a·bᵀ with bias[j] added to every
+// element of column j — the fused epilogue used by the Linear layer, where
+// columns are output features. bias must have length n.
+func MatMulTransposeBColBiasInto(c, a, b, bias *Tensor) {
+	m, n, k := checkMatMulTB("MatMulTransposeBColBiasInto", c, a, b)
+	if bias.Len() != n {
+		panic(fmt.Sprintf("tensor: MatMulTransposeBColBiasInto bias length %d, want %d", bias.Len(), n))
 	}
-	if c.shape[0] != m || c.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransposeAInto output shape %v, want [%d %d]", c.shape, m, n))
-	}
-	cd := c.Data
-	for i := range cd {
-		cd[i] = 0
-	}
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := cd[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+	if gemmUseNaive(m, n, k) {
+		naiveMatMulTransposeBInto(c.Data, a.Data, b.Data, m, n, k)
+		for i := 0; i < m; i++ {
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range bias.Data {
+				crow[j] += bv
 			}
 		}
+		return
 	}
-}
-
-// MatMulTransposeAAddInto computes c += aᵀ·b for a of shape [k,m] and b of
-// shape [k,n]; c must have shape [m,n].
-func MatMulTransposeAAddInto(c, a, b *Tensor) {
-	k, m := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	if b.shape[0] != k {
-		panic(fmt.Sprintf("tensor: MatMulTransposeAAddInto inner mismatch %v vs %v", a.shape, b.shape))
-	}
-	if c.shape[0] != m || c.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransposeAAddInto output shape %v, want [%d %d]", c.shape, m, n))
-	}
-	cd := c.Data
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := cd[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulTransposeBInto computes c = a·bᵀ for a of shape [m,k] and b of
-// shape [n,k]; c must have shape [m,n]. Used for input gradients.
-func MatMulTransposeBInto(c, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[0]
-	if b.shape[1] != k {
-		panic(fmt.Sprintf("tensor: MatMulTransposeBInto inner mismatch %v vs %v", a.shape, b.shape))
-	}
-	if c.shape[0] != m || c.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransposeBInto output shape %v, want [%d %d]", c.shape, m, n))
-	}
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
-		}
-	}
+	gemmExec(gemmCall{a: a.Data, b: b.Data, c: c.Data, m: m, n: n, k: k, lda: k, ldb: k, ldc: n, bTrans: true, colBias: bias.Data})
 }

@@ -1,0 +1,104 @@
+package tensor
+
+// Naive reference GEMM kernels. These are the pre-blocking implementations,
+// kept for two jobs: (1) the exported MatMul* entry points route tiny
+// problems here, where packing overhead would dominate; (2) the equivalence
+// tests use them as the golden oracle for the blocked kernel. All operate on
+// raw row-major slices and follow the same i/p/j loop orders the original
+// tensor-level kernels used.
+
+// naiveMatMulInto computes c = a·b for a [m,k] and b [k,n].
+func naiveMatMulInto(c, a, b []float32, m, n, k int) {
+	for i := 0; i < m; i++ {
+		crow := c[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// naiveMatMulAddInto computes c += a·b for a [m,k] and b [k,n].
+func naiveMatMulAddInto(c, a, b []float32, m, n, k int) {
+	for i := 0; i < m; i++ {
+		crow := c[i*n : (i+1)*n]
+		arow := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// naiveMatMulTransposeAInto computes c = aᵀ·b for a [k,m] and b [k,n].
+func naiveMatMulTransposeAInto(c, a, b []float32, m, n, k int) {
+	for i := 0; i < m*n; i++ {
+		c[i] = 0
+	}
+	naiveMatMulTransposeAAddInto(c, a, b, m, n, k)
+}
+
+// naiveMatMulTransposeAAddInto computes c += aᵀ·b for a [k,m] and b [k,n].
+func naiveMatMulTransposeAAddInto(c, a, b []float32, m, n, k int) {
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// naiveMatMulTransposeBInto computes c = a·bᵀ for a [m,k] and b [n,k].
+func naiveMatMulTransposeBInto(c, a, b []float32, m, n, k int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// naiveMatMulTransposeBAddInto computes c += a·bᵀ for a [m,k] and b [n,k].
+func naiveMatMulTransposeBAddInto(c, a, b []float32, m, n, k int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += s
+		}
+	}
+}

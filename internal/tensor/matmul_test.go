@@ -1,0 +1,220 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// forceBlocked runs fn with the small-problem fallback disabled, so every
+// exported MatMul* call exercises the packed blocked kernel regardless of
+// operand size.
+func forceBlocked(fn func()) {
+	oldMACs, oldK := gemmMinBlockedMACs, gemmMinBlockedK
+	gemmMinBlockedMACs, gemmMinBlockedK = 0, 0
+	defer func() { gemmMinBlockedMACs, gemmMinBlockedK = oldMACs, oldK }()
+	fn()
+}
+
+// matmulSizes spans the blocking edge cases: unit dims, odd dims straddling
+// the MR=4 and NR=8 micro-tile widths, an exact block multiple, and a size
+// crossing the 64/128 cache-block boundaries.
+var matmulSizes = []int{1, 3, 5, 7, 9, 64, 129}
+
+func randMat(rng *rand.Rand, r, c int) *Tensor {
+	t := New(r, c)
+	t.RandNormal(rng, 0, 1)
+	return t
+}
+
+// matmulVariants pairs each exported kernel with its naive oracle. a/b
+// shapes depend on the transpose form; the closure receives fresh operands
+// and must fill got via the exported kernel and want via the reference.
+var matmulVariants = []struct {
+	name string
+	run  func(rng *rand.Rand, m, n, k int) (got, want *Tensor)
+}{
+	{"MatMulInto", func(rng *rand.Rand, m, n, k int) (*Tensor, *Tensor) {
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		got, want := New(m, n), New(m, n)
+		forceBlocked(func() { MatMulInto(got, a, b) })
+		naiveMatMulInto(want.Data, a.Data, b.Data, m, n, k)
+		return got, want
+	}},
+	{"MatMulAddInto", func(rng *rand.Rand, m, n, k int) (*Tensor, *Tensor) {
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		got := randMat(rng, m, n)
+		want := got.Clone()
+		forceBlocked(func() { MatMulAddInto(got, a, b) })
+		naiveMatMulAddInto(want.Data, a.Data, b.Data, m, n, k)
+		return got, want
+	}},
+	{"MatMulTransposeAInto", func(rng *rand.Rand, m, n, k int) (*Tensor, *Tensor) {
+		a, b := randMat(rng, k, m), randMat(rng, k, n)
+		got, want := New(m, n), New(m, n)
+		forceBlocked(func() { MatMulTransposeAInto(got, a, b) })
+		naiveMatMulTransposeAInto(want.Data, a.Data, b.Data, m, n, k)
+		return got, want
+	}},
+	{"MatMulTransposeAAddInto", func(rng *rand.Rand, m, n, k int) (*Tensor, *Tensor) {
+		a, b := randMat(rng, k, m), randMat(rng, k, n)
+		got := randMat(rng, m, n)
+		want := got.Clone()
+		forceBlocked(func() { MatMulTransposeAAddInto(got, a, b) })
+		naiveMatMulTransposeAAddInto(want.Data, a.Data, b.Data, m, n, k)
+		return got, want
+	}},
+	{"MatMulTransposeBInto", func(rng *rand.Rand, m, n, k int) (*Tensor, *Tensor) {
+		a, b := randMat(rng, m, k), randMat(rng, n, k)
+		got, want := New(m, n), New(m, n)
+		forceBlocked(func() { MatMulTransposeBInto(got, a, b) })
+		naiveMatMulTransposeBInto(want.Data, a.Data, b.Data, m, n, k)
+		return got, want
+	}},
+	{"MatMulTransposeBAddInto", func(rng *rand.Rand, m, n, k int) (*Tensor, *Tensor) {
+		a, b := randMat(rng, m, k), randMat(rng, n, k)
+		got := randMat(rng, m, n)
+		want := got.Clone()
+		forceBlocked(func() { MatMulTransposeBAddInto(got, a, b) })
+		naiveMatMulTransposeBAddInto(want.Data, a.Data, b.Data, m, n, k)
+		return got, want
+	}},
+	{"MatMulRowBiasInto", func(rng *rand.Rand, m, n, k int) (*Tensor, *Tensor) {
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		bias := New(m)
+		bias.RandNormal(rng, 0, 1)
+		got, want := New(m, n), New(m, n)
+		forceBlocked(func() { MatMulRowBiasInto(got, a, b, bias) })
+		naiveMatMulInto(want.Data, a.Data, b.Data, m, n, k)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want.Data[i*n+j] += bias.Data[i]
+			}
+		}
+		return got, want
+	}},
+	{"MatMulTransposeBColBiasInto", func(rng *rand.Rand, m, n, k int) (*Tensor, *Tensor) {
+		a, b := randMat(rng, m, k), randMat(rng, n, k)
+		bias := New(n)
+		bias.RandNormal(rng, 0, 1)
+		got, want := New(m, n), New(m, n)
+		forceBlocked(func() { MatMulTransposeBColBiasInto(got, a, b, bias) })
+		naiveMatMulTransposeBInto(want.Data, a.Data, b.Data, m, n, k)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want.Data[i*n+j] += bias.Data[j]
+			}
+		}
+		return got, want
+	}},
+}
+
+func maxRelDiff(got, want *Tensor) float64 {
+	var worst float64
+	for i, g := range got.Data {
+		w := want.Data[i]
+		d := math.Abs(float64(g - w))
+		scale := 1 + math.Abs(float64(w))
+		if d/scale > worst {
+			worst = d / scale
+		}
+	}
+	return worst
+}
+
+// TestMatMulBlockedMatchesNaive is the golden equivalence suite: every
+// exported variant against its retained naive reference, across the cross
+// product of edge sizes.
+func TestMatMulBlockedMatchesNaive(t *testing.T) {
+	for _, v := range matmulVariants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for _, m := range matmulSizes {
+				for _, n := range matmulSizes {
+					for _, k := range matmulSizes {
+						got, want := v.run(rng, m, n, k)
+						if d := maxRelDiff(got, want); d > 1e-4 {
+							t.Fatalf("%s m=%d n=%d k=%d: max rel diff %g", v.name, m, n, k, d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMatMulParallelMatchesSerial verifies that the worker-pool column split
+// produces bitwise-identical results to the single-goroutine run: the
+// k-summation order of each element does not depend on the split.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 96, 432)
+	b := randMat(rng, 432, 520)
+	serial, par := New(96, 520), New(96, 520)
+
+	oldPar, oldMin := MaxParallelism, gemmParallelMACs
+	defer func() { MaxParallelism, gemmParallelMACs = oldPar, oldMin }()
+	gemmParallelMACs = 0
+
+	MaxParallelism = 1
+	MatMulInto(serial, a, b)
+	MaxParallelism = 4
+	MatMulInto(par, a, b)
+	for i, v := range par.Data {
+		if v != serial.Data[i] {
+			t.Fatalf("parallel result differs at %d: %v vs %v", i, v, serial.Data[i])
+		}
+	}
+
+	// Same check for an accumulating transpose variant.
+	c0 := randMat(rng, 432, 520)
+	c1 := c0.Clone()
+	at := randMat(rng, 96, 432)
+	bt := randMat(rng, 96, 520)
+	MaxParallelism = 1
+	MatMulTransposeAAddInto(c0, at, bt)
+	MaxParallelism = 4
+	MatMulTransposeAAddInto(c1, at, bt)
+	for i, v := range c1.Data {
+		if v != c0.Data[i] {
+			t.Fatalf("parallel TransposeAAdd differs at %d: %v vs %v", i, v, c0.Data[i])
+		}
+	}
+}
+
+// TestMatMulSteadyStateAllocs pins the zero-allocation contract of the
+// serial blocked kernel: packing scratch and call descriptors are pooled.
+func TestMatMulSteadyStateAllocs(t *testing.T) {
+	oldPar := MaxParallelism
+	MaxParallelism = 1
+	defer func() { MaxParallelism = oldPar }()
+	rng := rand.New(rand.NewSource(3))
+	a := randMat(rng, 48, 27)
+	b := randMat(rng, 27, 640)
+	c := New(48, 640)
+	forceBlocked(func() {
+		MatMulInto(c, a, b) // warm the scratch pool
+		if allocs := testing.AllocsPerRun(20, func() { MatMulInto(c, a, b) }); allocs != 0 {
+			t.Errorf("MatMulInto steady state: %v allocs/op, want 0", allocs)
+		}
+	})
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a, b := New(2, 3), New(4, 5)
+	for _, fn := range []func(){
+		func() { MatMul(a, b) },
+		func() { MatMulInto(New(2, 5), a, b) },
+		func() { MatMulRowBiasInto(New(2, 3), a, New(3, 3), New(5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected shape panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -5,8 +5,12 @@
 //
 // The package is deliberately small and allocation-transparent: a Tensor is
 // a shape plus a flat []float32, and every operation documents whether it
-// allocates or works in place. All operations are single-goroutine and
-// deterministic so that experiments are reproducible from a seed.
+// allocates or works in place. All operations are deterministic so that
+// experiments are reproducible from a seed: the blocked GEMM (gemm.go) may
+// fan work out across a worker pool, but it splits only along the output
+// columns, so every output element sees the identical k-summation order
+// regardless of worker count and results are bitwise reproducible. All
+// other operations are single-goroutine.
 package tensor
 
 import (
