@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench check ci
 
-all: check
+all: ci
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# race runs the packages with parallel kernels under the race detector;
-# the conv/GEMM tests force multi-worker execution even on one CPU.
+# race runs the concurrency-bearing packages under the race detector: the
+# parallel GEMM/conv kernels and the streaming pipeline executor (plus its
+# detect-stage adapters). The tests force multi-worker execution even on
+# one CPU.
 race:
-	$(GO) test -race ./internal/nn/... ./internal/tensor/...
+	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/...
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMatMul|BenchmarkConvForwardSteadyState|BenchmarkTable2Backbones' -benchtime 10x .
 
-# check is the tier-1 gate: everything must pass before a commit.
-check: vet build test race
+# ci is the single verification entry point: everything must pass before a
+# commit lands.
+ci: vet test race build
+
+# check is kept as an alias for ci (the historical name).
+check: ci

@@ -6,6 +6,7 @@ package skynet_test
 // these testing.B benches track the performance of the machinery itself.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -218,6 +219,23 @@ func BenchmarkFig10Pipeline(b *testing.B) {
 	b.Run("pipelined", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			p.RunPipelined(items, 2)
+		}
+	})
+	// The production streaming executor with the compute stage scaled out
+	// across workers — the Figure 10 design plus per-stage scale-out.
+	ex, err := pipeline.NewExecutor(2,
+		pipeline.StageSpec{Name: pipeline.StagePre, Proc: func(_ context.Context, v any) (any, error) { return work(v), nil }},
+		pipeline.StageSpec{Name: pipeline.StageInfer, Workers: 4, Proc: func(_ context.Context, v any) (any, error) { return work(v), nil }},
+		pipeline.StageSpec{Name: pipeline.StagePost, Proc: func(_ context.Context, v any) (any, error) { return work(v), nil }},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("executor-4w", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Run(context.Background(), items); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -1,6 +1,8 @@
 // Command skynet-detect loads weights produced by skynet-train and runs
-// detection over freshly generated scenes, reporting per-image IoU and the
-// aggregate R_IoU (Equation 2), with optional ASCII rendering.
+// detection over freshly generated scenes on the §6.3 streaming executor
+// (multi-worker pre/post stages around micro-batched inference), reporting
+// per-image IoU, the aggregate R_IoU (Equation 2), throughput, and the
+// measured per-stage breakdown, with optional ASCII rendering.
 //
 // Usage:
 //
@@ -9,16 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"skynet/internal/backbone"
 	"skynet/internal/dataset"
 	"skynet/internal/detect"
 	"skynet/internal/modelspec"
 	"skynet/internal/nn"
+	"skynet/internal/pipeline"
 )
 
 func main() {
@@ -33,6 +38,8 @@ func main() {
 		n       = flag.Int("n", 16, "number of scenes to detect")
 		seed    = flag.Int64("seed", 99, "scene generation seed")
 		render  = flag.Bool("render", false, "ASCII-render each detection")
+		batch   = flag.Int("batch", 4, "inference micro-batch size")
+		delayMS = flag.Int("maxdelay", 5, "max milliseconds a partial inference batch waits")
 	)
 	flag.Parse()
 	var g *nn.Graph
@@ -73,18 +80,44 @@ func main() {
 	dcfg.Seed = *seed
 	gen := dataset.NewGenerator(dcfg)
 
+	scenes := make([]dataset.Scene, *n)
+	frames := make([]any, *n)
+	for i := range frames {
+		scenes[i] = gen.Scene()
+		frames[i] = &detect.Frame{Image: scenes[i].Image, GT: scenes[i].Box}
+	}
+
+	ex, err := detect.NewStreamExecutor(g, head, detect.StreamConfig{
+		MaxBatch: *batch,
+		MaxDelay: time.Duration(*delayMS) * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skynet-detect: %v\n", err)
+		os.Exit(1)
+	}
+	t0 := time.Now()
+	out, err := ex.Run(context.Background(), frames)
+	elapsed := time.Since(t0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skynet-detect: pipeline: %v\n", err)
+		os.Exit(1)
+	}
+
 	var total float64
-	for i := 0; i < *n; i++ {
-		s := gen.Scene()
-		x, gts := detect.Batch([]detect.Sample{{Image: s.Image, Box: s.Box}}, 0, 1)
-		boxes, confs := head.Decode(g.Forward(x, false))
-		iou := boxes[0].IoU(gts[0])
+	for i, v := range out {
+		f := v.(*detect.Frame)
+		iou := f.Box.IoU(f.GT)
 		total += iou
 		fmt.Printf("scene %2d  %-12s conf %.2f  IoU %.3f\n",
-			i+1, dataset.CategoryName(s.Category), confs[0], iou)
+			i+1, dataset.CategoryName(scenes[i].Category), f.Conf, iou)
 		if *render {
-			fmt.Println(dataset.ASCIIRender(s.Image, s.Box, boxes[0], 64))
+			fmt.Println(dataset.ASCIIRender(scenes[i].Image, f.GT, f.Box, 64))
 		}
 	}
 	fmt.Printf("R_IoU over %d scenes: %.3f\n", *n, total/float64(*n))
+	fmt.Printf("pipeline: %.1f FPS over %d scenes (%s)\n",
+		float64(*n)/elapsed.Seconds(), *n, pipeline.StageBreakdown(ex.MeasuredProfile()))
+	for _, s := range ex.Stats() {
+		fmt.Printf("  %s\n", s)
+	}
 }

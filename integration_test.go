@@ -5,6 +5,7 @@ package skynet_test
 // realistic user journey rather than a single package.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -207,6 +208,57 @@ func TestIntegrationPipelineOverTrainedModel(t *testing.T) {
 		if ser[i].(*item).box != pip[i].(*item).box {
 			t.Fatalf("pipelined result %d differs from serial", i)
 		}
+	}
+}
+
+// TestIntegrationStreamingExecutorOverTrainedModel runs the production
+// streaming executor (multi-worker pre/post, micro-batched inference) over
+// a real backbone and checks the decoded boxes match the serial per-frame
+// path exactly, in order.
+func TestIntegrationStreamingExecutorOverTrainedModel(t *testing.T) {
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = 48, 96
+	rng := rand.New(rand.NewSource(3))
+	cfg := backbone.Config{Width: 0.125, InC: 3, HeadChannels: 10, ReLU6: true}
+	model := backbone.SkyNetC(rng, cfg)
+	head := detect.NewHead(nil)
+
+	gen := dataset.NewGenerator(dcfg)
+	const n = 10
+	frames := make([]any, n)
+	want := make([]detect.Box, n)
+	for i := range frames {
+		s := gen.Scene()
+		frames[i] = &detect.Frame{Image: s.Image, GT: s.Box}
+		x := s.Image.Clone()
+		c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+		boxes, _ := head.Decode(model.Forward(x.Reshape(1, c, h, w), false))
+		want[i] = boxes[0]
+	}
+
+	// MaxDelay 0 on the raw InferStage waits for full batches, so the batch
+	// boundaries (4/4/2) — and therefore the exact GEMM shapes — are
+	// deterministic run to run.
+	ex, err := pipeline.NewExecutor(4,
+		detect.PreStage(2),
+		detect.InferStage(model, 4, 0),
+		detect.PostStage(head, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ex.Run(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		f := v.(*detect.Frame)
+		if f.Box != want[i] {
+			t.Fatalf("executor box %d = %+v, serial path says %+v", i, f.Box, want[i])
+		}
+	}
+	if prof := ex.MeasuredProfile(); len(prof) != 3 || prof[1] <= 0 {
+		t.Fatalf("measured profile %v not populated", prof)
 	}
 }
 

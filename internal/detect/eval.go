@@ -39,8 +39,13 @@ func Batch(samples []Sample, lo, hi int) (*tensor.Tensor, []Box) {
 
 // MeanIoU evaluates the model on the samples and returns the DAC-SDC
 // accuracy metric R_IoU (Equation 2): the mean IoU between the single
-// predicted box and the ground truth over the whole set.
+// predicted box and the ground truth over the whole set. An empty sample
+// slice scores 0 — the metric rewards correct detections, and there are
+// none — rather than the 0/0 NaN of the raw mean.
 func MeanIoU(m Model, head *Head, samples []Sample, batchSize int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
 	if batchSize <= 0 {
 		batchSize = 8
 	}
@@ -89,8 +94,13 @@ type TrainConfig struct {
 // TrainDetector trains graph+head on the samples with SGD, following the
 // paper's §6.1 recipe shape: SGD with a geometrically decaying learning
 // rate, optional multi-scale training, and optional augmentation. Returns
-// the final mean training loss.
+// the final mean training loss. With no samples (or zero epochs) there are
+// no optimization steps and no batches to average over, so the reported
+// loss is 0 rather than the 0/0 NaN of an empty mean.
 func TrainDetector(g *nn.Graph, head *Head, samples []Sample, cfg TrainConfig) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 8
 	}

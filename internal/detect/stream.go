@@ -1,0 +1,175 @@
+package detect
+
+// Live detection on the streaming executor: the three merged stages of
+// §6.3/Figure 10 (fetch+pre-process, batched inference, post-process)
+// expressed as pipeline.StageSpec values over a stream of Frames. The
+// inference stage is the paper's batched one — frames are micro-batched,
+// stacked with Batch into a single [B,C,H,W] forward pass, and the head
+// output is split back per frame so post-processing stays per-item.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"skynet/internal/pipeline"
+	"skynet/internal/tensor"
+)
+
+// Frame is one unit of work flowing through the live detection pipeline.
+// Stages fill in their field and pass the frame along.
+type Frame struct {
+	Image *tensor.Tensor // [C,H,W] input scene (set by the producer)
+	GT    Box            // optional ground truth, carried through for scoring
+	X     *tensor.Tensor // [C,H,W] pre-processed input (PreStage)
+	Pred  *tensor.Tensor // [1,ch,Sh,Sw] raw head output (InferStage)
+	Box   Box            // decoded detection (PostStage)
+	Conf  float64        // decoded confidence (PostStage)
+}
+
+func asFrame(stage string, v any) (*Frame, error) {
+	f, ok := v.(*Frame)
+	if !ok {
+		return nil, fmt.Errorf("detect: %s stage got %T, want *detect.Frame", stage, v)
+	}
+	return f, nil
+}
+
+// PreStage returns the merged fetch/pre-process stage: it clones the input
+// image so every downstream stage owns its data regardless of what the
+// producer does with the original buffer. The work is per-frame and
+// stateless, so it can scale across workers.
+func PreStage(workers int) pipeline.StageSpec {
+	return pipeline.StageSpec{
+		Name:    pipeline.StagePre,
+		Workers: workers,
+		Proc: func(_ context.Context, v any) (any, error) {
+			f, err := asFrame(pipeline.StagePre, v)
+			if err != nil {
+				return nil, err
+			}
+			if f.Image == nil {
+				return nil, errors.New("detect: frame has no image")
+			}
+			if f.Image.Rank() != 3 {
+				return nil, fmt.Errorf("detect: frame image rank %d, want [C,H,W]", f.Image.Rank())
+			}
+			f.X = f.Image.Clone()
+			return f, nil
+		},
+	}
+}
+
+// InferStage returns the micro-batched DNN inference stage of §6.3: up to
+// maxBatch pre-processed frames (waiting at most maxDelay for stragglers)
+// are stacked into one [B,C,H,W] tensor and run through a single Forward,
+// amortizing per-call overhead exactly like the paper's batched inference
+// amortizes weight loads. The stage runs on one worker because Graph
+// forward passes share internal buffers (nn.ReuseOutputs) and are not
+// concurrency-safe; scale throughput with maxBatch instead.
+func InferStage(m Model, maxBatch int, maxDelay time.Duration) pipeline.StageSpec {
+	return pipeline.StageSpec{
+		Name:     pipeline.StageInfer,
+		MaxBatch: maxBatch,
+		MaxDelay: maxDelay,
+		Batch: func(_ context.Context, items []any) ([]any, error) {
+			samples := make([]Sample, len(items))
+			for i, v := range items {
+				f, err := asFrame(pipeline.StageInfer, v)
+				if err != nil {
+					return nil, err
+				}
+				if f.X == nil {
+					return nil, errors.New("detect: frame reached inference without pre-processing")
+				}
+				samples[i] = Sample{Image: f.X}
+			}
+			x, _ := Batch(samples, 0, len(samples))
+			pred := m.Forward(x, false)
+			if pred.Rank() != 4 || pred.Dim(0) != len(items) {
+				return nil, fmt.Errorf("detect: model returned %v for a batch of %d", pred.Shape(), len(items))
+			}
+			// Split [B,ch,Sh,Sw] into per-frame [1,ch,Sh,Sw] copies so the
+			// frames own their predictions (the model may reuse its output
+			// buffer on the next forward) and post-processing stays per-item.
+			ch, sh, sw := pred.Dim(1), pred.Dim(2), pred.Dim(3)
+			per := ch * sh * sw
+			out := make([]any, len(items))
+			for i, v := range items {
+				f := v.(*Frame)
+				p := tensor.New(1, ch, sh, sw)
+				copy(p.Data, pred.Data[i*per:(i+1)*per])
+				f.Pred = p
+				out[i] = f
+			}
+			return out, nil
+		},
+	}
+}
+
+// PostStage returns the post-processing stage: decode the single best box
+// and its confidence from the raw head output. Decode only reads the head,
+// so the stage can scale across workers.
+func PostStage(h *Head, workers int) pipeline.StageSpec {
+	return pipeline.StageSpec{
+		Name:    pipeline.StagePost,
+		Workers: workers,
+		Proc: func(_ context.Context, v any) (any, error) {
+			f, err := asFrame(pipeline.StagePost, v)
+			if err != nil {
+				return nil, err
+			}
+			if f.Pred == nil {
+				return nil, errors.New("detect: frame reached post-processing without a prediction")
+			}
+			boxes, confs := h.Decode(f.Pred)
+			f.Box, f.Conf = boxes[0], confs[0]
+			return f, nil
+		},
+	}
+}
+
+// StreamConfig tunes NewStreamExecutor. The zero value selects sensible
+// defaults for a single-model host pipeline.
+type StreamConfig struct {
+	// MaxBatch caps the inference micro-batch; 0 selects 4 (the paper's
+	// Figure 9 batch size).
+	MaxBatch int
+	// MaxDelay bounds how long a partial inference batch waits for more
+	// frames; 0 selects 5ms. Use a small value for live low-latency
+	// streams, a large one for offline throughput runs.
+	MaxDelay time.Duration
+	// PreWorkers / PostWorkers scale the CPU-side stages; 0 selects 2.
+	PreWorkers  int
+	PostWorkers int
+	// Buffer is the inter-stage queue depth; 0 selects MaxBatch so the
+	// batcher can fill without stalling the pre-process stage.
+	Buffer int
+}
+
+// NewStreamExecutor assembles the full three-stage §6.3 executor for a
+// model+head pair: multi-worker pre/post stages around single-worker
+// micro-batched inference, with frames delivered in input order.
+func NewStreamExecutor(m Model, h *Head, cfg StreamConfig) (*pipeline.Executor, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	if cfg.PreWorkers <= 0 {
+		cfg.PreWorkers = 2
+	}
+	if cfg.PostWorkers <= 0 {
+		cfg.PostWorkers = 2
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = cfg.MaxBatch
+	}
+	return pipeline.NewExecutor(cfg.Buffer,
+		PreStage(cfg.PreWorkers),
+		InferStage(m, cfg.MaxBatch, cfg.MaxDelay),
+		PostStage(h, cfg.PostWorkers),
+	)
+}

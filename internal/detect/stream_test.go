@@ -1,0 +1,148 @@
+package detect
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"skynet/internal/nn"
+	"skynet/internal/pipeline"
+	"skynet/internal/tensor"
+)
+
+// fakeModel maps each sample's first pixel deterministically to a head
+// output, so batched and per-item forwards are trivially comparable.
+type fakeModel struct {
+	ch, sh, sw int
+}
+
+func (f fakeModel) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	n := x.Dim(0)
+	inPer := x.Dim(1) * x.Dim(2) * x.Dim(3)
+	out := tensor.New(n, f.ch, f.sh, f.sw)
+	outPer := f.ch * f.sh * f.sw
+	for i := 0; i < n; i++ {
+		seed := x.Data[i*inPer]
+		for j := 0; j < outPer; j++ {
+			out.Data[i*outPer+j] = seed + float32(j)*0.01
+		}
+	}
+	return out
+}
+
+func streamFrames(rng *rand.Rand, n int) []any {
+	frames := make([]any, n)
+	for i := range frames {
+		img := tensor.New(3, 8, 8)
+		img.RandNormal(rng, 0, 1)
+		frames[i] = &Frame{Image: img}
+	}
+	return frames
+}
+
+// The three-stage streaming executor must produce, in order, exactly the
+// boxes a serial per-frame pre→forward→decode loop produces.
+func TestStreamExecutorMatchesSerial(t *testing.T) {
+	head := NewHead(nil)
+	m := fakeModel{ch: head.Channels(), sh: 4, sw: 4}
+	rng := rand.New(rand.NewSource(11))
+	frames := streamFrames(rng, 37)
+
+	ex, err := NewStreamExecutor(m, head, StreamConfig{MaxBatch: 5, MaxDelay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ex.Run(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(frames) {
+		t.Fatalf("executor returned %d frames, want %d", len(out), len(frames))
+	}
+	for i, v := range out {
+		f := v.(*Frame)
+		x := f.Image.Clone()
+		c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+		pred := m.Forward(x.Reshape(1, c, h, w), false)
+		boxes, confs := head.Decode(pred)
+		if f.Box != boxes[0] || math.Abs(f.Conf-confs[0]) > 1e-12 {
+			t.Fatalf("frame %d: executor box %+v conf %v, serial %+v conf %v",
+				i, f.Box, f.Conf, boxes[0], confs[0])
+		}
+	}
+	// The inference stage must actually have batched.
+	stats := ex.Stats()
+	if stats[1].Batches >= stats[1].Items {
+		t.Fatalf("inference ran %d batches for %d items — no batching happened", stats[1].Batches, stats[1].Items)
+	}
+}
+
+// Wrong item types and missing fields fail the run with a stage error
+// instead of panicking or deadlocking.
+func TestStreamStagesRejectBadFrames(t *testing.T) {
+	head := NewHead(nil)
+	m := fakeModel{ch: head.Channels(), sh: 2, sw: 2}
+	ex, err := NewStreamExecutor(m, head, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(context.Background(), []any{"not a frame"}); err == nil {
+		t.Fatal("non-frame item must fail the run")
+	}
+	if _, err := ex.Run(context.Background(), []any{&Frame{}}); err == nil {
+		t.Fatal("frame without an image must fail the run")
+	}
+}
+
+// R_IoU over an empty evaluation set is defined as 0 (no detections to
+// reward), not the 0/0 NaN the raw mean would produce.
+func TestMeanIoUEmptySamples(t *testing.T) {
+	head := NewHead(nil)
+	m := fakeModel{ch: head.Channels(), sh: 2, sw: 2}
+	got := MeanIoU(m, head, nil, 8)
+	if math.IsNaN(got) || got != 0 {
+		t.Fatalf("MeanIoU(empty) = %v, want 0", got)
+	}
+}
+
+// Training on an empty sample set performs no steps and reports loss 0,
+// not NaN from dividing by zero batches.
+func TestTrainDetectorEmptySamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	head := NewHead(nil)
+	g := nn.Sequential(nn.NewPWConv1(rng, 1, head.Channels(), true))
+	loss := TrainDetector(g, head, nil, TrainConfig{
+		Epochs: 3, BatchSize: 8, LR: nn.LRSchedule{Start: 0.01, End: 0.001, Epochs: 3},
+	})
+	if math.IsNaN(loss) || loss != 0 {
+		t.Fatalf("TrainDetector(empty) = %v, want 0", loss)
+	}
+}
+
+// A model whose batched output shape is wrong must fail the inference
+// stage as an error.
+type badShapeModel struct{}
+
+func (badShapeModel) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	return tensor.New(1, 10, 2, 2) // always batch 1, regardless of input
+}
+
+func TestInferStageRejectsBadModelOutput(t *testing.T) {
+	head := NewHead(nil)
+	// maxDelay 0 waits for full batches, so every batch has 3 items and the
+	// model's constant batch-1 output shape deterministically mismatches.
+	ex, err := pipeline.NewExecutor(2,
+		PreStage(1),
+		InferStage(badShapeModel{}, 3, 0),
+		PostStage(head, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := ex.Run(context.Background(), streamFrames(rng, 6)); err == nil {
+		t.Fatal("mismatched model output batch must fail the run")
+	}
+}

@@ -1,6 +1,7 @@
 package fpga
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -207,6 +208,23 @@ func TestEvaluateTilingFigure9(t *testing.T) {
 func TestDeviceString(t *testing.T) {
 	if Ultra96.String() == "" || PynqZ1.String() == "" {
 		t.Fatal("device descriptions must be non-empty")
+	}
+}
+
+// Out-of-range scheme values must render a placeholder, not panic — the
+// String method sits on formatted-output paths.
+func TestTilingSchemeStringOutOfRange(t *testing.T) {
+	if got := SchemeTiled2x2.String(); got != "batch=4 tiled 2x2" {
+		t.Fatalf("in-range name = %q", got)
+	}
+	for _, s := range []TilingScheme{-1, 3, 99} {
+		got := s.String()
+		if got == "" {
+			t.Fatalf("scheme %d rendered empty", int(s))
+		}
+		if got != fmt.Sprintf("scheme(%d)", int(s)) {
+			t.Fatalf("scheme %d rendered %q, want placeholder", int(s), got)
+		}
 	}
 }
 

@@ -1,5 +1,7 @@
 package fpga
 
+import "fmt"
+
 // This file models the batch + tiling scheme of Figure 9. The accelerator
 // streams feature maps through a strip (line) buffer of a few rows.
 // Batching images improves weight reuse — one weight load serves B images —
@@ -19,9 +21,16 @@ const (
 	SchemeTiled2x2                     // batch of 4 stitched into one 2×2 tile
 )
 
-// String names the scheme.
+// String names the scheme. Out-of-range values get a placeholder name
+// instead of panicking with an index error — String is called from
+// formatted output paths (tables, logs) where a malformed report row must
+// not take the process down.
 func (s TilingScheme) String() string {
-	return [...]string{"batch=1", "batch=4 separate", "batch=4 tiled 2x2"}[s]
+	names := [...]string{"batch=1", "batch=4 separate", "batch=4 tiled 2x2"}
+	if s < 0 || int(s) >= len(names) {
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+	return names[s]
 }
 
 // TilingReport quantifies one scheme.

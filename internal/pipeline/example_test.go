@@ -1,6 +1,7 @@
 package pipeline_test
 
 import (
+	"context"
 	"fmt"
 
 	"skynet/internal/pipeline"
@@ -26,4 +27,27 @@ func ExamplePipeline_RunPipelined() {
 	out := p.RunPipelined([]any{1, 2, 3}, 1)
 	fmt.Println(out[0], out[1], out[2])
 	// Output: 3 5 7
+}
+
+// The streaming executor scales the bottleneck stage out across workers
+// and micro-batches a stage, while results still come back in input order.
+func ExampleExecutor_Run() {
+	ex, err := pipeline.NewExecutor(2,
+		pipeline.StageSpec{Name: "double", Workers: 4,
+			Proc: func(_ context.Context, v any) (any, error) { return v.(int) * 2, nil }},
+		pipeline.StageSpec{Name: "inc", MaxBatch: 3,
+			Batch: func(_ context.Context, items []any) ([]any, error) {
+				out := make([]any, len(items))
+				for i, v := range items {
+					out[i] = v.(int) + 1
+				}
+				return out, nil
+			}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	out, err := ex.Run(context.Background(), []any{1, 2, 3, 4})
+	fmt.Println(out, err)
+	// Output: [3 5 7 9] <nil>
 }

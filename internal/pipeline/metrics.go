@@ -1,0 +1,119 @@
+package pipeline
+
+// Per-stage observability for the streaming executor: how many items each
+// stage processed, how long it spent working (busy), starved for input
+// (wait), and blocked on a full downstream queue (queue-full). The
+// snapshots convert directly into the []float64 profiles consumed by
+// StageBreakdown and the analytic makespan model, so a live run's measured
+// occupancy can be laid side by side with the PipelinedMakespan prediction.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// stageCounters is the executor-internal accumulator, updated with atomics
+// from every worker of a stage.
+type stageCounters struct {
+	items     atomic.Int64
+	batches   atomic.Int64
+	busyNS    atomic.Int64
+	waitNS    atomic.Int64
+	blockedNS atomic.Int64
+}
+
+func (c *stageCounters) addItems(n int)             { c.items.Add(int64(n)) }
+func (c *stageCounters) addBatch()                  { c.batches.Add(1) }
+func (c *stageCounters) addBusy(d time.Duration)    { c.busyNS.Add(int64(d)) }
+func (c *stageCounters) addWait(d time.Duration)    { c.waitNS.Add(int64(d)) }
+func (c *stageCounters) addBlocked(d time.Duration) { c.blockedNS.Add(int64(d)) }
+
+// StageStats is a snapshot of one stage's counters, aggregated across the
+// stage's workers and across every run of the executor so far.
+type StageStats struct {
+	Name    string
+	Workers int
+	// Items is the number of items that completed the stage's transform.
+	Items int64
+	// Batches counts BatchProc invocations; zero for per-item stages.
+	Batches int64
+	// Busy is the total time spent inside Proc/Batch, summed over workers.
+	Busy time.Duration
+	// Wait is the total time workers spent starved waiting for input.
+	Wait time.Duration
+	// Blocked is the total time workers spent with a result ready but the
+	// downstream queue full.
+	Blocked time.Duration
+}
+
+// PerItemSeconds is the mean busy time per item on one worker — the d_i of
+// the analytic model before any scale-out.
+func (s StageStats) PerItemSeconds() float64 {
+	if s.Items == 0 {
+		return 0
+	}
+	return s.Busy.Seconds() / float64(s.Items)
+}
+
+// EffectiveSeconds is the stage's steady-state period contribution:
+// per-item busy time divided by the worker count. The pipeline's measured
+// bottleneck is the max over stages, matching what PipelinedMakespan sees
+// when given an effective profile.
+func (s StageStats) EffectiveSeconds() float64 {
+	if s.Workers <= 0 {
+		return s.PerItemSeconds()
+	}
+	return s.PerItemSeconds() / float64(s.Workers)
+}
+
+// Occupancy is the fraction of accounted worker time spent busy (vs
+// starved or blocked) — near 1 for the bottleneck stage, lower elsewhere.
+func (s StageStats) Occupancy() float64 {
+	total := s.Busy + s.Wait + s.Blocked
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(total)
+}
+
+// String renders one stage's snapshot, e.g.
+// "inference: 64 items (16 batches), 2.1ms/item, occupancy 0.97".
+func (s StageStats) String() string {
+	out := fmt.Sprintf("%s: %d items", s.Name, s.Items)
+	if s.Batches > 0 {
+		out += fmt.Sprintf(" (%d batches)", s.Batches)
+	}
+	out += fmt.Sprintf(", %.2fms/item, occupancy %.2f", s.PerItemSeconds()*1e3, s.Occupancy())
+	return out
+}
+
+// Stats returns a snapshot of every stage's counters.
+func (e *Executor) Stats() []StageStats {
+	out := make([]StageStats, len(e.specs))
+	for i, c := range e.ctrs {
+		out[i] = StageStats{
+			Name:    e.specs[i].Name,
+			Workers: e.specs[i].Workers,
+			Items:   c.items.Load(),
+			Batches: c.batches.Load(),
+			Busy:    time.Duration(c.busyNS.Load()),
+			Wait:    time.Duration(c.waitNS.Load()),
+			Blocked: time.Duration(c.blockedNS.Load()),
+		}
+	}
+	return out
+}
+
+// MeasuredProfile returns the per-stage effective seconds per item
+// (busy/items/workers) — a profile in the same units as TX2StageProfile,
+// directly renderable with StageBreakdown and comparable against the
+// analytic PipelinedMakespan model.
+func (e *Executor) MeasuredProfile() []float64 {
+	stats := e.Stats()
+	out := make([]float64, len(stats))
+	for i, s := range stats {
+		out[i] = s.EffectiveSeconds()
+	}
+	return out
+}

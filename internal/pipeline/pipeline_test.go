@@ -128,13 +128,52 @@ func TestPipelinedWallClockFaster(t *testing.T) {
 	for i := range items {
 		items[i] = i
 	}
-	serial, pipelined := p.TimedRun(items, 1)
+	out, serial, pipelined := p.TimedRun(items, 1)
 	if pipelined >= serial {
 		t.Fatalf("pipelined %v not faster than serial %v", pipelined, serial)
 	}
 	ratio := float64(serial) / float64(pipelined)
 	if ratio < 1.8 {
 		t.Fatalf("wall-clock speedup %.2f too low for 3 equal stages", ratio)
+	}
+	// TimedRun must hand back the pipelined results, not discard them.
+	ser := p.RunSerial(items)
+	if len(out) != len(ser) {
+		t.Fatalf("TimedRun returned %d results, want %d", len(out), len(ser))
+	}
+	for i := range ser {
+		if out[i] != ser[i] {
+			t.Fatalf("TimedRun result %d = %v, serial says %v", i, out[i], ser[i])
+		}
+	}
+}
+
+// The empty workload must yield a defined speedup of 1, not the 0/0 NaN
+// the raw makespan ratio produces (both makespans are 0 for n <= 0).
+func TestSpeedupEmptyWorkload(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if got := Speedup(TX2StageProfile, n); got != 1 {
+			t.Fatalf("Speedup(n=%d) = %v, want 1", n, got)
+		}
+		if got := SystemSpeedup(TX2SerialProfile, TX2StageProfile, n); got != 1 {
+			t.Fatalf("SystemSpeedup(n=%d) = %v, want 1", n, got)
+		}
+	}
+	if got := Speedup([]float64{0, 0}, 5); math.IsNaN(got) || got != 1 {
+		t.Fatalf("Speedup(zero profile) = %v, want 1", got)
+	}
+	if got := SystemSpeedup([]float64{0}, []float64{0}, 5); got != 1 {
+		t.Fatalf("SystemSpeedup(zero profiles) = %v, want 1", got)
+	}
+}
+
+func TestEffectiveProfile(t *testing.T) {
+	got := EffectiveProfile([]float64{0.002, 0.008, 0.002}, []int{1, 4})
+	want := []float64{0.002, 0.002, 0.002}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("effective profile %v, want %v", got, want)
+		}
 	}
 }
 
