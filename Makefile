@@ -1,11 +1,25 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check ci
+# Per-package coverage floor (percent) enforced by `make cover` on the
+# serving-critical packages.
+COVER_FLOOR ?= 60
+COVER_PKGS  ?= ./internal/serve ./internal/pipeline ./internal/detect
+
+.PHONY: all build binaries vet test short race bench cover check ci
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+# binaries compiles every command and example entry point so a refactor
+# cannot silently break a main package that `go build ./...` would still
+# cover but a bad flag default or unused import would not surface until run.
+binaries:
+	@for d in cmd/* examples/*; do \
+		echo "build $$d"; \
+		$(GO) build -o /dev/null ./$$d || exit 1; \
+	done
 
 vet:
 	$(GO) vet ./...
@@ -13,19 +27,38 @@ vet:
 test:
 	$(GO) test ./...
 
+# short is the fast inner-loop gate: every package, training budgets
+# shrunk, the whole suite in well under a minute.
+short:
+	$(GO) test -short ./...
+
 # race runs the concurrency-bearing packages under the race detector: the
-# parallel GEMM/conv kernels and the streaming pipeline executor (plus its
-# detect-stage adapters). The tests force multi-worker execution even on
-# one CPU.
+# parallel GEMM/conv kernels, the streaming pipeline executor (plus its
+# detect-stage adapters), and the batching HTTP server. The tests force
+# multi-worker execution even on one CPU.
 race:
-	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/...
+	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/... ./internal/serve/...
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMatMul|BenchmarkConvForwardSteadyState|BenchmarkTable2Backbones' -benchtime 10x .
 
+# cover measures statement coverage on the serving-critical packages and
+# fails if any of them drops below COVER_FLOOR percent.
+cover:
+	@fail=0; \
+	for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -short -cover $$pkg | tail -1); \
+		echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; fail=1; continue; fi; \
+		ok=$$(awk "BEGIN{print ($$pct >= $(COVER_FLOOR)) ? 1 : 0}"); \
+		if [ "$$ok" != "1" ]; then echo "$$pkg: coverage $$pct% below floor $(COVER_FLOOR)%"; fail=1; fi; \
+	done; \
+	exit $$fail
+
 # ci is the single verification entry point: everything must pass before a
 # commit lands.
-ci: vet test race build
+ci: vet test race build binaries
 
 # check is kept as an alias for ci (the historical name).
 check: ci

@@ -5,11 +5,17 @@ package skynet_test
 // realistic user journey rather than a single package.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"skynet/internal/backbone"
 	"skynet/internal/bundle"
@@ -22,6 +28,7 @@ import (
 	"skynet/internal/pipeline"
 	"skynet/internal/pso"
 	"skynet/internal/quant"
+	"skynet/internal/serve"
 	"skynet/internal/tensor"
 )
 
@@ -29,10 +36,14 @@ import (
 // journey of §6.4: train a detector, pick a Table 7 quantization scheme,
 // size the Ultra96 IP, simulate the schedule, and produce a contest score.
 func TestIntegrationTrainQuantizeDeployScore(t *testing.T) {
+	trainN, epochs := 32, 4
+	if testing.Short() {
+		trainN, epochs = 16, 2 // the journey's assertions are budget-relative
+	}
 	dcfg := dataset.DefaultConfig()
 	dcfg.W, dcfg.H = 48, 96
 	gen := dataset.NewGenerator(dcfg)
-	train := gen.DetectionSet(32)
+	train := gen.DetectionSet(trainN)
 	val := gen.DetectionSet(16)
 
 	rng := rand.New(rand.NewSource(1))
@@ -40,8 +51,8 @@ func TestIntegrationTrainQuantizeDeployScore(t *testing.T) {
 	model := backbone.SkyNetC(rng, cfg)
 	head := detect.NewHead(nil)
 	detect.TrainDetector(model, head, train, detect.TrainConfig{
-		Epochs: 4, BatchSize: 8,
-		LR: nn.LRSchedule{Start: 0.01, End: 0.005, Epochs: 4},
+		Epochs: epochs, BatchSize: 8,
+		LR: nn.LRSchedule{Start: 0.01, End: 0.005, Epochs: epochs},
 	})
 	floatIoU := detect.MeanIoU(model, head, val, 8)
 
@@ -273,10 +284,14 @@ func TestIntegrationMultiScaleDetector(t *testing.T) {
 	cfg := backbone.Config{Width: 0.125, InC: 3, HeadChannels: 10, ReLU6: true}
 	model := backbone.SkyNetC(rng, cfg)
 	head := detect.NewHead(nil)
+	epochs := 3
+	if testing.Short() {
+		epochs = 1
+	}
 	aug := dataset.NewAugmentor(5, 0.2, 0.08)
 	loss := detect.TrainDetector(model, head, train, detect.TrainConfig{
-		Epochs: 3, BatchSize: 8,
-		LR:      nn.LRSchedule{Start: 0.01, End: 0.005, Epochs: 3},
+		Epochs: epochs, BatchSize: 8,
+		LR:      nn.LRSchedule{Start: 0.01, End: 0.005, Epochs: epochs},
 		Scales:  [][2]int{{32, 64}, {48, 96}, {64, 128}},
 		Augment: aug.Apply,
 	})
@@ -290,6 +305,135 @@ func TestIntegrationMultiScaleDetector(t *testing.T) {
 		out := model.Forward(x, false)
 		if out.Dim(2) != scale[0]/8 || out.Dim(3) != scale[1]/8 {
 			t.Fatalf("scale %v output %v", scale, out.Shape())
+		}
+	}
+}
+
+// TestIntegrationServingLoadMatchesSerial is the serving acceptance test:
+// concurrent clients hammer the HTTP service through the load generator,
+// every request must succeed, every response body must be byte-identical
+// to serial single-image inference through the same model, and /metrics
+// must show the dynamic batcher actually aggregating (mean batch > 1).
+func TestIntegrationServingLoadMatchesSerial(t *testing.T) {
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = 48, 96
+	rng := rand.New(rand.NewSource(5))
+	model := backbone.SkyNetC(rng, backbone.Config{Width: 0.125, InC: 3, HeadChannels: 10, ReLU6: true})
+	head := detect.NewHead(nil)
+
+	// Serial reference: one forward per image, encoded exactly as the
+	// server's handler encodes.
+	gen := dataset.NewGenerator(dcfg)
+	const nImages = 8
+	images := make([]*tensor.Tensor, nImages)
+	wantBody := make([][]byte, nImages)
+	for i := range images {
+		images[i] = gen.Scene().Image
+		x := images[i].Clone()
+		c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+		boxes, confs := head.Decode(model.Forward(x.Reshape(1, c, h, w), false))
+		var buf bytes.Buffer
+		if err := detect.EncodeResponse(&buf, detect.Response{Box: boxes[0], Conf: confs[0]}); err != nil {
+			t.Fatal(err)
+		}
+		wantBody[i] = buf.Bytes()
+	}
+
+	srv, err := serve.New(model, head, serve.Config{
+		MaxBatch:       8,
+		MaxDelay:       4 * time.Millisecond,
+		QueueDepth:     256,
+		RequestTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	clients, perClient := 64, 2
+	if testing.Short() {
+		clients, perClient = 16, 1
+	}
+	lg := &serve.LoadGen{URL: ts.URL, Clients: clients, Requests: perClient, Images: images}
+	report, err := lg.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := report.Errors(); len(errs) != 0 {
+		t.Fatalf("%d/%d requests failed under load; first: %+v", len(errs), len(report.Results), errs[0])
+	}
+	for _, res := range report.Results {
+		if !bytes.Equal(res.Body, wantBody[res.Image]) {
+			t.Fatalf("client %d image %d: batched response %q differs from serial %q",
+				res.Client, res.Image, res.Body, wantBody[res.Image])
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m serve.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Served != int64(clients*perClient) {
+		t.Fatalf("served %d, want %d", m.Served, clients*perClient)
+	}
+	if m.MeanBatchSize <= 1 {
+		t.Fatalf("mean batch size %.2f — dynamic batching did not aggregate concurrent load", m.MeanBatchSize)
+	}
+}
+
+// TestIntegrationTrainDetectDeterministic pins end-to-end reproducibility:
+// a fixed-seed fast-train + detect run is bitwise identical across two
+// runs and across GOMAXPROCS=1 vs 8 (the parallel backward stages
+// per-image gradients and reduces them in a fixed order, so the worker
+// count must not leak into the arithmetic).
+func TestIntegrationTrainDetectDeterministic(t *testing.T) {
+	trainN, epochs, scenes := 16, 2, 4
+	if testing.Short() {
+		trainN, epochs = 8, 1
+	}
+	run := func(procs int) ([]detect.Box, []float64, float64) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		dcfg := dataset.DefaultConfig()
+		dcfg.W, dcfg.H = 48, 96
+		gen := dataset.NewGenerator(dcfg)
+		rng := rand.New(rand.NewSource(7))
+		model := backbone.SkyNetC(rng, backbone.Config{Width: 0.125, InC: 3, HeadChannels: 10, ReLU6: true})
+		head := detect.NewHead(nil)
+		loss := detect.TrainDetector(model, head, gen.DetectionSet(trainN), detect.TrainConfig{
+			Epochs: epochs, BatchSize: 8,
+			LR: nn.LRSchedule{Start: 0.01, End: 0.005, Epochs: epochs},
+		})
+		boxes := make([]detect.Box, scenes)
+		confs := make([]float64, scenes)
+		for i := range boxes {
+			s := gen.Scene()
+			x := s.Image.Clone()
+			c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+			bs, cs := head.Decode(model.Forward(x.Reshape(1, c, h, w), false))
+			boxes[i], confs[i] = bs[0], cs[0]
+		}
+		return boxes, confs, loss
+	}
+
+	b1, c1, l1 := run(1)
+	for name, other := range map[string]int{"second run at GOMAXPROCS=1": 1, "GOMAXPROCS=8": 8} {
+		b2, c2, l2 := run(other)
+		if l1 != l2 {
+			t.Fatalf("%s: training loss %.17g differs from %.17g", name, l2, l1)
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] || c1[i] != c2[i] {
+				t.Fatalf("%s: detection %d = %+v/%v, want bitwise-identical %+v/%v",
+					name, i, b2[i], c2[i], b1[i], c1[i])
+			}
 		}
 	}
 }

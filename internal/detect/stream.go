@@ -36,10 +36,23 @@ func asFrame(stage string, v any) (*Frame, error) {
 	return f, nil
 }
 
-// PreStage returns the merged fetch/pre-process stage: it clones the input
-// image so every downstream stage owns its data regardless of what the
-// producer does with the original buffer. The work is per-frame and
-// stateless, so it can scale across workers.
+// Preprocess is the per-frame fetch/pre-process transform: it validates
+// the input and clones the image so every downstream stage owns its data
+// regardless of what the producer does with the original buffer. It is
+// stateless and safe to call concurrently.
+func Preprocess(f *Frame) error {
+	if f.Image == nil {
+		return errors.New("detect: frame has no image")
+	}
+	if f.Image.Rank() != 3 {
+		return fmt.Errorf("detect: frame image rank %d, want [C,H,W]", f.Image.Rank())
+	}
+	f.X = f.Image.Clone()
+	return nil
+}
+
+// PreStage returns the merged fetch/pre-process stage over Preprocess. The
+// work is per-frame and stateless, so it can scale across workers.
 func PreStage(workers int) pipeline.StageSpec {
 	return pipeline.StageSpec{
 		Name:    pipeline.StagePre,
@@ -49,16 +62,56 @@ func PreStage(workers int) pipeline.StageSpec {
 			if err != nil {
 				return nil, err
 			}
-			if f.Image == nil {
-				return nil, errors.New("detect: frame has no image")
+			if err := Preprocess(f); err != nil {
+				return nil, err
 			}
-			if f.Image.Rank() != 3 {
-				return nil, fmt.Errorf("detect: frame image rank %d, want [C,H,W]", f.Image.Rank())
-			}
-			f.X = f.Image.Clone()
 			return f, nil
 		},
 	}
+}
+
+// InferBatch stacks the frames' pre-processed inputs into one [B,C,H,W]
+// tensor, runs a single forward pass, and splits the prediction back into
+// per-frame [1,ch,Sh,Sw] copies, so the frames own their predictions (the
+// model may reuse its output buffer on the next forward). Calls for the
+// same model must be serialized by the caller: Graph forward passes share
+// internal buffers (nn.ReuseOutputs) and are not concurrency-safe.
+func InferBatch(m Model, frames []*Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	samples := make([]Sample, len(frames))
+	for i, f := range frames {
+		if f.X == nil {
+			return errors.New("detect: frame reached inference without pre-processing")
+		}
+		samples[i] = Sample{Image: f.X}
+	}
+	x, _ := Batch(samples, 0, len(samples))
+	pred := m.Forward(x, false)
+	if pred.Rank() != 4 || pred.Dim(0) != len(frames) {
+		return fmt.Errorf("detect: model returned %v for a batch of %d", pred.Shape(), len(frames))
+	}
+	ch, sh, sw := pred.Dim(1), pred.Dim(2), pred.Dim(3)
+	per := ch * sh * sw
+	for i, f := range frames {
+		p := tensor.New(1, ch, sh, sw)
+		copy(p.Data, pred.Data[i*per:(i+1)*per])
+		f.Pred = p
+	}
+	return nil
+}
+
+// Postprocess decodes the single best box and its confidence from the
+// frame's raw head output. Decode only reads the head, so it is safe to
+// call concurrently.
+func Postprocess(h *Head, f *Frame) error {
+	if f.Pred == nil {
+		return errors.New("detect: frame reached post-processing without a prediction")
+	}
+	boxes, confs := h.Decode(f.Pred)
+	f.Box, f.Conf = boxes[0], confs[0]
+	return nil
 }
 
 // InferStage returns the micro-batched DNN inference stage of §6.3: up to
@@ -74,33 +127,19 @@ func InferStage(m Model, maxBatch int, maxDelay time.Duration) pipeline.StageSpe
 		MaxBatch: maxBatch,
 		MaxDelay: maxDelay,
 		Batch: func(_ context.Context, items []any) ([]any, error) {
-			samples := make([]Sample, len(items))
+			frames := make([]*Frame, len(items))
 			for i, v := range items {
 				f, err := asFrame(pipeline.StageInfer, v)
 				if err != nil {
 					return nil, err
 				}
-				if f.X == nil {
-					return nil, errors.New("detect: frame reached inference without pre-processing")
-				}
-				samples[i] = Sample{Image: f.X}
+				frames[i] = f
 			}
-			x, _ := Batch(samples, 0, len(samples))
-			pred := m.Forward(x, false)
-			if pred.Rank() != 4 || pred.Dim(0) != len(items) {
-				return nil, fmt.Errorf("detect: model returned %v for a batch of %d", pred.Shape(), len(items))
+			if err := InferBatch(m, frames); err != nil {
+				return nil, err
 			}
-			// Split [B,ch,Sh,Sw] into per-frame [1,ch,Sh,Sw] copies so the
-			// frames own their predictions (the model may reuse its output
-			// buffer on the next forward) and post-processing stays per-item.
-			ch, sh, sw := pred.Dim(1), pred.Dim(2), pred.Dim(3)
-			per := ch * sh * sw
 			out := make([]any, len(items))
-			for i, v := range items {
-				f := v.(*Frame)
-				p := tensor.New(1, ch, sh, sw)
-				copy(p.Data, pred.Data[i*per:(i+1)*per])
-				f.Pred = p
+			for i, f := range frames {
 				out[i] = f
 			}
 			return out, nil
@@ -120,11 +159,9 @@ func PostStage(h *Head, workers int) pipeline.StageSpec {
 			if err != nil {
 				return nil, err
 			}
-			if f.Pred == nil {
-				return nil, errors.New("detect: frame reached post-processing without a prediction")
+			if err := Postprocess(h, f); err != nil {
+				return nil, err
 			}
-			boxes, confs := h.Decode(f.Pred)
-			f.Box, f.Conf = boxes[0], confs[0]
 			return f, nil
 		},
 	}

@@ -10,14 +10,20 @@ import (
 )
 
 // tinyOpts pins every budget to its smallest useful value so all sixteen
-// experiments run in the test suite.
+// experiments run in the test suite. Under -short the budgets shrink
+// further: the structural assertions (row counts, orderings, analytic
+// columns) hold at any training budget.
 func tinyOpts(t *testing.T) Options {
 	t.Helper()
-	return Options{
+	o := Options{
 		Quick:    true,
 		Seed:     1,
 		Override: &Budget{TrainN: 16, ValN: 8, Epochs: 2, TrackSteps: 20},
 	}
+	if testing.Short() {
+		o.Override = &Budget{TrainN: 8, ValN: 4, Epochs: 1, TrackSteps: 6}
+	}
+	return o
 }
 
 func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
@@ -218,6 +224,14 @@ func TestTrainingExperimentsRun(t *testing.T) {
 		{Table7, 5},
 		{Fig2a, 11},
 	}
+	if testing.Short() {
+		// One training experiment keeps the path covered; Table7 trains a
+		// single model (the others train one per row), so it is the cheapest.
+		cases = []struct {
+			run  func(Options) Table
+			rows int
+		}{{Table7, 5}}
+	}
 	for _, c := range cases {
 		tab := c.run(o)
 		if len(tab.Rows) != c.rows {
@@ -230,6 +244,9 @@ func TestTrainingExperimentsRun(t *testing.T) {
 }
 
 func TestTrackingExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table8/table9 train trackers over three backbones — beyond the -short budget")
+	}
 	o := tinyOpts(t)
 	t8 := Table8(o)
 	if len(t8.Rows) != 3 {

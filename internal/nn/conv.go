@@ -25,30 +25,31 @@ type Conv2D struct {
 	Weight     *Param // [OutC, InC*K*K]
 	Bias       *Param // [OutC], nil unless UseBias
 	label      string
-	x          *tensor.Tensor // cached input
-	col        *tensor.Tensor // serial-path im2col scratch, reused across calls
-	dcol       *tensor.Tensor // serial-path im2col gradient scratch
-	out        *tensor.Tensor // cached output buffer (ReuseOutputs)
-	imgView    *tensor.Tensor // per-image input view, repointed per image
-	omView     *tensor.Tensor // per-image output view
-	dmView     *tensor.Tensor // per-image dout view
-	dimgView   *tensor.Tensor // per-image dx view
+	x          *tensor.Tensor   // cached input
+	col        *tensor.Tensor   // serial-path im2col scratch, reused across calls
+	dcol       *tensor.Tensor   // serial-path im2col gradient scratch
+	out        *tensor.Tensor   // cached output buffer (ReuseOutputs)
+	imgView    *tensor.Tensor   // per-image input view, repointed per image
+	omView     *tensor.Tensor   // per-image output view
+	dmView     *tensor.Tensor   // per-image dout view
+	dimgView   *tensor.Tensor   // per-image dx view
 	wcols      []*tensor.Tensor // per-worker im2col scratch (parallel forward)
-	bw         []*convBwdBufs   // per-worker backward scratch + accumulators
+	bw         []*convBwdBufs   // per-worker backward scratch
+	dwImg      []*tensor.Tensor // per-image weight-gradient staging [OutC, InC*K*K]
+	dbImg      []float32        // per-image bias-gradient staging [n*OutC]
+	dw1        *tensor.Tensor   // serial-path weight-gradient staging
 	outH, outW int
 	lastN      int
 }
 
-// convBwdBufs is one worker's private backward state. The dw/db gradient
-// accumulators exist because Param.G is shared across the whole batch:
-// concurrent accumulation into it from batch workers would race, so each
-// worker sums into its own buffers and Backward merges them in worker order
-// (making results deterministic for a fixed worker count).
+// convBwdBufs is one worker's private backward scratch. Gradients are not
+// accumulated here: Param.G is shared across the whole batch, so each
+// image's contribution is staged per image (Conv2D.dwImg/dbImg) and merged
+// in image order — a fixed reduction tree, bitwise identical for any
+// worker count.
 type convBwdBufs struct {
 	col  *tensor.Tensor // im2col of the worker's current image
 	dcol *tensor.Tensor // gradient of the im2col matrix
-	dw   *tensor.Tensor // weight-gradient accumulator [OutC, InC*K*K]
-	db   []float32      // bias-gradient accumulator [OutC]
 }
 
 // NewConv2D constructs a convolution with He-initialized weights.
@@ -139,19 +140,29 @@ func (c *Conv2D) ensureWorkerCols(nw, rows, cols int) {
 	}
 }
 
-// ensureBackwardBufs sizes the per-worker backward scratch and gradient
-// accumulators.
-func (c *Conv2D) ensureBackwardBufs(nw, rows, cols int) {
+// ensureBackwardBufs sizes the per-worker backward scratch and the
+// per-image gradient accumulators. Weight gradients are staged per image —
+// not per worker — so the reduction tree (one AddInPlace per image, in
+// image order) is identical for every worker count and training stays
+// bitwise reproducible across GOMAXPROCS settings.
+func (c *Conv2D) ensureBackwardBufs(nw, n, rows, cols int) {
 	if len(c.bw) < nw || c.bw[0].col.Dim(0) != rows || c.bw[0].col.Dim(1) != cols {
 		c.bw = make([]*convBwdBufs, nw)
 		for i := range c.bw {
 			c.bw[i] = &convBwdBufs{
 				col:  tensor.New(rows, cols),
 				dcol: tensor.New(rows, cols),
-				dw:   tensor.New(c.OutC, rows),
-				db:   make([]float32, c.OutC),
 			}
 		}
+	}
+	if len(c.dwImg) < n || c.dwImg[0].Dim(1) != rows {
+		c.dwImg = make([]*tensor.Tensor, n)
+		for i := range c.dwImg {
+			c.dwImg[i] = tensor.New(c.OutC, rows)
+		}
+	}
+	if len(c.dbImg) < n*c.OutC {
+		c.dbImg = make([]float32, n*c.OutC)
 	}
 }
 
@@ -164,20 +175,16 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) []*tensor.Tensor {
 	perImg := c.OutC * cols
 	dx := tensor.New(n, c.InC, h, w)
 	if nw := workersFor(n); nw > 1 {
-		c.ensureBackwardBufs(nw, rows, cols)
-		for i := 0; i < nw; i++ {
-			c.bw[i].dw.Zero()
-			for o := range c.bw[i].db {
-				c.bw[i].db[o] = 0
-			}
-		}
+		c.ensureBackwardBufs(nw, n, rows, cols)
 		parallelForWorkers(n, func(worker, i int) {
 			bb := c.bw[worker]
 			img := tensor.FromSlice(c.x.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
 			tensor.Im2Col(bb.col, img, c.K, c.K, c.Stride, c.Pad)
 			dm := tensor.FromSlice(dout.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
-			// dW += dout · colᵀ, into the worker-private accumulator.
-			tensor.MatMulTransposeBAddInto(bb.dw, dm, bb.col)
+			// dW_i = dout_i · col_iᵀ, staged in this image's slot.
+			dwi := c.dwImg[i]
+			dwi.Zero()
+			tensor.MatMulTransposeBAddInto(dwi, dm, bb.col)
 			// dcol = Wᵀ · dout
 			tensor.MatMulTransposeAInto(bb.dcol, c.Weight.W, dm)
 			dimg := tensor.FromSlice(dx.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
@@ -188,17 +195,17 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) []*tensor.Tensor {
 					for _, g := range dout.Data[i*perImg+o*cols : i*perImg+(o+1)*cols] {
 						s += g
 					}
-					bb.db[o] += s
+					c.dbImg[i*c.OutC+o] = s
 				}
 			}
 		})
-		// Merge worker accumulators in worker order (deterministic for a
-		// fixed worker count).
-		for i := 0; i < nw; i++ {
-			c.Weight.G.AddInPlace(c.bw[i].dw)
+		// Merge the staged per-image gradients in image order — the same
+		// reduction tree the serial path walks, for any worker count.
+		for i := 0; i < n; i++ {
+			c.Weight.G.AddInPlace(c.dwImg[i])
 			if c.Bias != nil {
-				for o, v := range c.bw[i].db {
-					c.Bias.G.Data[o] += v
+				for o := 0; o < c.OutC; o++ {
+					c.Bias.G.Data[o] += c.dbImg[i*c.OutC+o]
 				}
 			}
 		}
@@ -210,12 +217,20 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) []*tensor.Tensor {
 	if c.dcol == nil || c.dcol.Dim(0) != rows || c.dcol.Dim(1) != cols {
 		c.dcol = tensor.New(rows, cols)
 	}
+	if c.dw1 == nil || c.dw1.Dim(1) != rows {
+		c.dw1 = tensor.New(c.OutC, rows)
+	}
 	for i := 0; i < n; i++ {
 		c.imgView = viewInto3(c.imgView, c.x.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
 		tensor.Im2Col(c.col, c.imgView, c.K, c.K, c.Stride, c.Pad)
 		c.dmView = viewInto2(c.dmView, dout.Data[i*perImg:(i+1)*perImg], c.OutC, cols)
-		// dW += dout · colᵀ
-		tensor.MatMulTransposeBAddInto(c.Weight.G, c.dmView, c.col)
+		// dW_i = dout_i · col_iᵀ, staged per image and then added — not
+		// GEMM-accumulated into G directly — so the serial path performs the
+		// same reduction tree as the parallel one (bitwise-reproducible
+		// training across GOMAXPROCS).
+		c.dw1.Zero()
+		tensor.MatMulTransposeBAddInto(c.dw1, c.dmView, c.col)
+		c.Weight.G.AddInPlace(c.dw1)
 		// dcol = Wᵀ · dout
 		tensor.MatMulTransposeAInto(c.dcol, c.Weight.W, c.dmView)
 		// Scatter straight into this image's slice of dx (Col2Im zeroes it).

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestCollectBatchFillsToMax(t *testing.T) {
+	in := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		in <- i
+	}
+	batch, end := CollectBatch(context.Background(), in, 4, 0, nil)
+	if len(batch) != 4 || end.Drained || end.Cancelled {
+		t.Fatalf("batch %v end %+v, want 4 items clean", batch, end)
+	}
+	for i, v := range batch {
+		if v != i {
+			t.Fatalf("batch[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestCollectBatchFlushesOnDelay(t *testing.T) {
+	in := make(chan int, 8)
+	in <- 42
+	t0 := time.Now()
+	batch, end := CollectBatch(context.Background(), in, 4, 5*time.Millisecond, nil)
+	if len(batch) != 1 || batch[0] != 42 {
+		t.Fatalf("batch %v, want [42]", batch)
+	}
+	if end.Drained || end.Cancelled {
+		t.Fatalf("end %+v, want timer flush", end)
+	}
+	if time.Since(t0) < 5*time.Millisecond {
+		t.Fatal("returned before MaxDelay elapsed")
+	}
+}
+
+func TestCollectBatchDrain(t *testing.T) {
+	in := make(chan int, 4)
+	in <- 1
+	in <- 2
+	close(in)
+	// delay 0 = wait forever for a full batch; the close must still flush.
+	batch, end := CollectBatch(context.Background(), in, 4, 0, nil)
+	if len(batch) != 2 || !end.Drained || end.Cancelled {
+		t.Fatalf("batch %v end %+v, want drained partial batch", batch, end)
+	}
+	// A drained channel with nothing pending reports an empty drained batch.
+	batch, end = CollectBatch(context.Background(), in, 4, 0, batch)
+	if len(batch) != 0 || !end.Drained {
+		t.Fatalf("batch %v end %+v, want empty drain", batch, end)
+	}
+}
+
+func TestCollectBatchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := make(chan int) // nothing will ever arrive
+	batch, end := CollectBatch(ctx, in, 4, 0, nil)
+	if !end.Cancelled || len(batch) != 0 {
+		t.Fatalf("batch %v end %+v, want cancelled", batch, end)
+	}
+
+	// Cancellation mid-collection: first item arrives, then the ctx fires.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	in2 := make(chan int, 1)
+	in2 <- 7
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	batch, end = CollectBatch(ctx2, in2, 4, 0, nil)
+	if !end.Cancelled {
+		t.Fatalf("end %+v, want cancelled mid-collect", end)
+	}
+	if len(batch) != 1 {
+		t.Fatalf("partial batch %v (discarded on cancel anyway)", batch)
+	}
+}
+
+func TestCollectBatchReusesBuffer(t *testing.T) {
+	in := make(chan int, 4)
+	in <- 1
+	in <- 2
+	buf := make([]int, 0, 4)
+	batch, _ := CollectBatch(context.Background(), in, 2, 0, buf)
+	if &batch[0] != &buf[:1][0] {
+		t.Fatal("CollectBatch must append into the caller's buffer")
+	}
+}
+
+func TestStageStatsMeanBatchSize(t *testing.T) {
+	s := StageStats{Items: 12, Batches: 4}
+	if got := s.MeanBatchSize(); got != 3 {
+		t.Fatalf("mean batch size %v, want 3", got)
+	}
+	if (StageStats{Items: 5}).MeanBatchSize() != 0 {
+		t.Fatal("per-item stages must report 0")
+	}
+}

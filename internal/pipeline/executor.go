@@ -308,9 +308,11 @@ func (r *run) itemWorker(spec StageSpec, c *stageCounters, in <-chan token, out 
 	}
 }
 
-// batchWorker collects up to MaxBatch items (or until MaxDelay from the
-// first pending item) and processes them in one BatchProc call.
+// batchWorker collects micro-batches via CollectBatch (up to MaxBatch
+// items, waiting at most MaxDelay from the first pending item) and
+// processes each in one BatchProc call.
 func (r *run) batchWorker(spec StageSpec, c *stageCounters, in <-chan token, out chan<- token) {
+	toks := make([]token, 0, spec.MaxBatch)
 	seqs := make([]int, 0, spec.MaxBatch)
 	vals := make([]any, 0, spec.MaxBatch)
 
@@ -345,55 +347,22 @@ func (r *run) batchWorker(spec StageSpec, c *stageCounters, in <-chan token, out
 	}
 
 	for {
-		// Block for the batch's first item.
-		tWait := time.Now()
-		var t token
-		var ok bool
-		select {
-		case t, ok = <-in:
-		case <-r.ctx.Done():
+		var end BatchEnd
+		toks, end = CollectBatch(r.ctx, in, spec.MaxBatch, spec.MaxDelay, toks)
+		if end.Cancelled {
 			return
 		}
-		if !ok {
-			return
-		}
-		c.addWait(time.Since(tWait))
-		seqs = append(seqs, t.seq)
-		vals = append(vals, t.val)
-
-		// Top up until full, deadline, or end of stream. A nil deadline
-		// channel (MaxDelay == 0) blocks forever, i.e. wait for a full
-		// batch.
-		var timer *time.Timer
-		var deadline <-chan time.Time
-		if spec.MaxDelay > 0 {
-			timer = time.NewTimer(spec.MaxDelay)
-			deadline = timer.C
-		}
-		drained := false
-	collect:
-		for len(vals) < spec.MaxBatch {
-			select {
-			case t, ok := <-in:
-				if !ok {
-					drained = true
-					break collect
-				}
+		if len(toks) > 0 {
+			c.addWait(end.FirstWait)
+			for _, t := range toks {
 				seqs = append(seqs, t.seq)
 				vals = append(vals, t.val)
-			case <-deadline:
-				break collect
-			case <-r.ctx.Done():
-				if timer != nil {
-					timer.Stop()
-				}
+			}
+			if !flush() {
 				return
 			}
 		}
-		if timer != nil {
-			timer.Stop()
-		}
-		if !flush() || drained {
+		if end.Drained {
 			return
 		}
 	}

@@ -67,6 +67,16 @@ func (s StageStats) EffectiveSeconds() float64 {
 	return s.PerItemSeconds() / float64(s.Workers)
 }
 
+// MeanBatchSize is the average number of items per BatchProc invocation —
+// the serving layer's headline batching-efficiency metric. Per-item stages
+// (no batches) report 0.
+func (s StageStats) MeanBatchSize() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Items) / float64(s.Batches)
+}
+
 // Occupancy is the fraction of accounted worker time spent busy (vs
 // starved or blocked) — near 1 for the bottleneck stage, lower elsewhere.
 func (s StageStats) Occupancy() float64 {

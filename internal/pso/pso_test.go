@@ -370,3 +370,172 @@ func TestSearchSurvivesHostileEvaluator(t *testing.T) {
 		t.Fatalf("history %d", len(res.History))
 	}
 }
+
+// TestFitnessTable pins Equation 1 case by case: sign of the penalty,
+// α scaling, β weighting, undershoot handling in both forms, and the
+// degenerate configurations (zero α, missing β, no latency targets).
+func TestFitnessTable(t *testing.T) {
+	base := Config{
+		Alpha:    0.01,
+		Beta:     map[string]float64{PlatformFPGA: 2, PlatformGPU: 1},
+		TargetMS: map[string]float64{PlatformFPGA: 40, PlatformGPU: 15},
+	}
+	cases := []struct {
+		name string
+		mod  func(*Config)
+		acc  float64
+		lat  map[string]float64
+		want float64
+	}{
+		{
+			name: "on-target latency is free",
+			acc:  0.6,
+			lat:  map[string]float64{PlatformFPGA: 40, PlatformGPU: 15},
+			want: 0.6,
+		},
+		{
+			name: "overshoot subtracts beta-weighted deviation",
+			acc:  0.6,
+			lat:  map[string]float64{PlatformFPGA: 50, PlatformGPU: 15},
+			want: 0.6 - 0.01*2*10,
+		},
+		{
+			name: "undershoot is free in the penalty form",
+			acc:  0.6,
+			lat:  map[string]float64{PlatformFPGA: 10, PlatformGPU: 1},
+			want: 0.6,
+		},
+		{
+			name: "alpha scales the whole penalty",
+			mod:  func(c *Config) { c.Alpha = 0.1 },
+			acc:  0.6,
+			lat:  map[string]float64{PlatformFPGA: 50, PlatformGPU: 15},
+			want: 0.6 - 0.1*2*10,
+		},
+		{
+			name: "beta weights platforms independently",
+			acc:  0.6,
+			lat:  map[string]float64{PlatformFPGA: 45, PlatformGPU: 25},
+			want: 0.6 - 0.01*(2*5+1*10),
+		},
+		{
+			name: "zero alpha reduces to accuracy",
+			mod:  func(c *Config) { c.Alpha = 0 },
+			acc:  0.42,
+			lat:  map[string]float64{PlatformFPGA: 400, PlatformGPU: 400},
+			want: 0.42,
+		},
+		{
+			name: "platform without a beta entry is unweighted",
+			acc:  0.6,
+			lat:  map[string]float64{"tpu": 100},
+			want: 0.6,
+		},
+		{
+			name: "no latencies at all",
+			acc:  0.33,
+			lat:  map[string]float64{},
+			want: 0.33,
+		},
+		{
+			name: "paper-literal form rewards absolute deviation",
+			mod:  func(c *Config) { c.PaperLiteralFitness = true },
+			acc:  0.6,
+			lat:  map[string]float64{PlatformFPGA: 30, PlatformGPU: 20},
+			want: 0.6 + 0.01*(2*10+1*5),
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := base
+			if c.mod != nil {
+				c.mod(&cfg)
+			}
+			if got := cfg.Fitness(c.acc, c.lat); math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("fitness = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestFitnessParetoOrdering: a candidate that Pareto-dominates another
+// (accuracy no worse, every latency no worse, at least one strictly
+// better) must never score lower under the penalty-form fitness — the
+// ordering both Search and the RandomSearch baseline rely on when they
+// keep their best particle.
+func TestFitnessParetoOrdering(t *testing.T) {
+	cfg := testConfig(11)
+	cases := []struct {
+		name       string
+		accA, accB float64
+		latA, latB map[string]float64
+	}{
+		{
+			name: "higher accuracy, equal latency",
+			accA: 0.8, accB: 0.6,
+			latA: map[string]float64{PlatformFPGA: 50, PlatformGPU: 20},
+			latB: map[string]float64{PlatformFPGA: 50, PlatformGPU: 20},
+		},
+		{
+			name: "equal accuracy, lower latency",
+			accA: 0.6, accB: 0.6,
+			latA: map[string]float64{PlatformFPGA: 45, PlatformGPU: 16},
+			latB: map[string]float64{PlatformFPGA: 60, PlatformGPU: 30},
+		},
+		{
+			name: "dominates on every axis",
+			accA: 0.7, accB: 0.5,
+			latA: map[string]float64{PlatformFPGA: 40, PlatformGPU: 15},
+			latB: map[string]float64{PlatformFPGA: 80, PlatformGPU: 40},
+		},
+		{
+			name: "dominates below target too",
+			accA: 0.7, accB: 0.6,
+			latA: map[string]float64{PlatformFPGA: 10, PlatformGPU: 5},
+			latB: map[string]float64{PlatformFPGA: 20, PlatformGPU: 10},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fa, fb := cfg.Fitness(c.accA, c.latA), cfg.Fitness(c.accB, c.latB)
+			if fa < fb {
+				t.Fatalf("dominant candidate scored %v below dominated %v", fa, fb)
+			}
+		})
+	}
+}
+
+// scriptedEvaluator maps each genome deterministically to a scripted
+// (accuracy, latency) pair keyed by the first channel value.
+type scriptedEvaluator struct{}
+
+func (scriptedEvaluator) Accuracy(n Network, _ int) float64 {
+	return float64(n.Channels[0]) / 1000
+}
+
+func (scriptedEvaluator) Latency(n Network) map[string]float64 {
+	return map[string]float64{PlatformFPGA: float64(n.Channels[0])}
+}
+
+// TestRandomSearchKeepsArgmaxFitness: the baseline must keep exactly the
+// candidate its own fitness ranks highest — the property that makes
+// CompareSearchers a fair PSO-vs-random comparison.
+func TestRandomSearchKeepsArgmaxFitness(t *testing.T) {
+	cfg := testConfig(12)
+	cfg.Iterations = 4
+	var fits []float64
+	cfg.Progress = func(_ int, best Particle) { fits = append(fits, best.Fit) }
+	res := RandomSearch(cfg, scriptedEvaluator{})
+	want := cfg.Fitness(res.Best.Acc, res.Best.Lat)
+	if math.Abs(res.Best.Fit-want) > 1e-12 {
+		t.Fatalf("best fitness %v does not re-derive from its own acc/lat (%v)", res.Best.Fit, want)
+	}
+	for i := 1; i < len(fits); i++ {
+		if fits[i] < fits[i-1] {
+			t.Fatalf("baseline best regressed at iteration %d: %v -> %v", i, fits[i-1], fits[i])
+		}
+	}
+	if res.Best.Fit != fits[len(fits)-1] {
+		t.Fatal("final best must equal the last progress report")
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+// HTTP front end: POST /detect takes a detect.Request (JSON image tensor)
+// and answers with a detect.Response; GET /metrics exports the Metrics
+// snapshot; GET /healthz is the load-balancer probe (503 while draining);
+// /debug/pprof/* exposes the standard profiles. Admission failures map to
+// the conventional statuses: 429 + Retry-After on overflow, 503 on drain,
+// 504 on a request deadline, 500 on an inference failure.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"skynet/internal/detect"
+)
+
+// Handler returns the server's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /detect", s.handleDetect)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	img, err := detect.DecodeRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	box, conf, err := s.Submit(r.Context(), img)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", retryAfter(s))
+		case errors.Is(err, ErrDraining):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = detect.EncodeResponse(w, detect.Response{Box: box, Conf: conf})
+}
+
+// retryAfter suggests a backoff for shed requests: roughly the time the
+// pipeline needs to work through the current queue, floored at one second.
+func retryAfter(s *Server) string {
+	secs := 1
+	if prof := s.ex.MeasuredProfile(); len(prof) > 0 {
+		var bottleneck float64
+		for _, d := range prof {
+			if d > bottleneck {
+				bottleneck = d
+			}
+		}
+		if est := int(float64(len(s.in)) * bottleneck); est > secs {
+			secs = est
+		}
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = detect.EncodeResponse(w, detect.Response{Error: err.Error()})
+}
+
+// ListenAndServe runs the HTTP front end on addr until ctx is cancelled,
+// then drains gracefully: the listener stops taking connections, the
+// admission queue closes, and in-flight requests get drainTimeout to
+// finish. It returns the first serve or drain error.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	shutErr := hs.Shutdown(dctx)
+	if drainErr != nil {
+		return drainErr
+	}
+	return shutErr
+}

@@ -1,0 +1,173 @@
+package serve
+
+// Observability surface: an allocation-free log-bucketed latency histogram
+// updated with atomics on the request path, and a Metrics snapshot that
+// joins it with the executor's per-stage counters (pipeline.StageStats)
+// and the admission-queue gauges. The /metrics handler serializes the
+// snapshot as JSON.
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets spans 50µs..~1100s in ×1.5 steps — fine resolution around
+// the few-millisecond latencies a batched CPU detector serves at.
+const (
+	histBuckets = 42
+	histBase    = 50 * time.Microsecond
+	histGrowth  = 1.5
+)
+
+// histogram is a fixed log-bucketed latency recorder. The zero bucket
+// holds everything below histBase; the last bucket is the overflow.
+type histogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+func newHistogram() *histogram { return &histogram{} }
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := 0
+	if d >= histBase {
+		idx = 1 + int(math.Log(float64(d)/float64(histBase))/math.Log(histGrowth))
+		if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// bucketUpper returns the upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return histBase
+	}
+	return time.Duration(float64(histBase) * math.Pow(histGrowth, float64(i)))
+}
+
+// quantile returns the latency below which fraction q of observations
+// fall, interpolated from the bucket bounds. Zero observations report 0.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+func (h *histogram) mean() time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / total)
+}
+
+// LatencySummary is the request-latency digest exported by /metrics, in
+// milliseconds.
+type LatencySummary struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// Metrics is one consistent-enough snapshot of the server's counters —
+// individual fields are read atomically; the set is not a transaction.
+type Metrics struct {
+	// QueueDepth is the number of requests waiting for admission into the
+	// pre-process stage; QueueCap is the admission bound.
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	Draining   bool `json:"draining"`
+
+	// Served counts successful detections; Failed per-request errors;
+	// Rejected admissions shed with 429; Expired callers that hit their
+	// deadline before delivery.
+	Served   int64 `json:"served"`
+	Failed   int64 `json:"failed"`
+	Rejected int64 `json:"rejected"`
+	Expired  int64 `json:"expired"`
+
+	// Batches counts inference flushes; MeanBatchSize is items/flush —
+	// the paper's batching leverage, >1 whenever batching is working.
+	Batches       int64   `json:"batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+
+	Latency LatencySummary `json:"latency"`
+
+	// Stages is the executor's per-stage occupancy breakdown.
+	Stages []pipelineStageJSON `json:"stages"`
+}
+
+// pipelineStageJSON flattens pipeline.StageStats into JSON-friendly units.
+type pipelineStageJSON struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Items         int64   `json:"items"`
+	Batches       int64   `json:"batches"`
+	BusyMS        float64 `json:"busy_ms"`
+	WaitMS        float64 `json:"wait_ms"`
+	BlockedMS     float64 `json:"blocked_ms"`
+	PerItemMS     float64 `json:"per_item_ms"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	Occupancy     float64 `json:"occupancy"`
+}
+
+// Metrics snapshots the server's observability counters.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		QueueDepth: len(s.in),
+		QueueCap:   cap(s.in),
+		Draining:   s.Draining(),
+		Served:     s.served.Load(),
+		Failed:     s.failed.Load(),
+		Rejected:   s.rejected.Load(),
+		Expired:    s.expired.Load(),
+		Latency: LatencySummary{
+			MeanMS: s.hist.mean().Seconds() * 1e3,
+			P50MS:  s.hist.quantile(0.50).Seconds() * 1e3,
+			P95MS:  s.hist.quantile(0.95).Seconds() * 1e3,
+			P99MS:  s.hist.quantile(0.99).Seconds() * 1e3,
+		},
+	}
+	for _, st := range s.ex.Stats() {
+		m.Stages = append(m.Stages, pipelineStageJSON{
+			Name:          st.Name,
+			Workers:       st.Workers,
+			Items:         st.Items,
+			Batches:       st.Batches,
+			BusyMS:        st.Busy.Seconds() * 1e3,
+			WaitMS:        st.Wait.Seconds() * 1e3,
+			BlockedMS:     st.Blocked.Seconds() * 1e3,
+			PerItemMS:     st.PerItemSeconds() * 1e3,
+			MeanBatchSize: st.MeanBatchSize(),
+			Occupancy:     st.Occupancy(),
+		})
+		if st.Batches > 0 {
+			m.Batches = st.Batches
+			m.MeanBatchSize = st.MeanBatchSize()
+		}
+	}
+	return m
+}

@@ -211,6 +211,9 @@ func TestTrackerStepReducesLoss(t *testing.T) {
 }
 
 func TestTrackedBoxesFollowTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("900-step tracker training exceeds the -short budget")
+	}
 	// Generalizing to an unseen object appearance needs appearance
 	// diversity in training: six training sequences, two held out.
 	tr := tinyTracker(false, 4)
@@ -380,5 +383,87 @@ func TestSubmissionRoundTrip(t *testing.T) {
 func TestReadSubmissionBoxesRejectsGarbage(t *testing.T) {
 	if _, err := ReadSubmissionBoxes(strings.NewReader("not,numbers,at,all\n"), 96, 96); err == nil {
 		t.Fatal("garbage line must error")
+	}
+}
+
+// TestMetricsEdgeCases tables the degenerate inputs the GOT-10k metrics
+// must survive: empty IoU sets (a submission of one-frame clips), single
+// observations, and exact-threshold boundaries (SR counts strict
+// exceedance, so IoU == threshold does not succeed).
+func TestMetricsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		ious   []float64
+		wantAO float64
+		sr     map[float64]float64
+	}{
+		{
+			name:   "empty set",
+			ious:   nil,
+			wantAO: 0,
+			sr:     map[float64]float64{0: 0, 0.5: 0, 0.75: 0},
+		},
+		{
+			name:   "single frame",
+			ious:   []float64{0.6},
+			wantAO: 0.6,
+			sr:     map[float64]float64{0.5: 1, 0.75: 0},
+		},
+		{
+			name:   "exact threshold is not a success",
+			ious:   []float64{0.5, 0.5},
+			wantAO: 0.5,
+			sr:     map[float64]float64{0.5: 0, 0.49: 1},
+		},
+		{
+			name:   "all zeros",
+			ious:   []float64{0, 0, 0},
+			wantAO: 0,
+			sr:     map[float64]float64{0: 0, 0.5: 0},
+		},
+		{
+			name:   "perfect tracking",
+			ious:   []float64{1, 1},
+			wantAO: 1,
+			sr:     map[float64]float64{0.5: 1, 0.75: 1, 0.99: 1},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := AO(c.ious); math.Abs(got-c.wantAO) > 1e-12 {
+				t.Fatalf("AO = %v, want %v", got, c.wantAO)
+			}
+			for th, want := range c.sr {
+				if got := SR(c.ious, th); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("SR@%v = %v, want %v", th, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSuccessCurveEdgeCases: the curve and its AUC must behave on empty
+// inputs and degenerate grid sizes.
+func TestSuccessCurveEdgeCases(t *testing.T) {
+	if c := SuccessCurve(nil, 10); len(c) != 10 {
+		t.Fatalf("curve length %d, want 10", len(c))
+	} else {
+		for i, v := range c {
+			if v != 0 {
+				t.Fatalf("empty input curve[%d] = %v", i, v)
+			}
+		}
+	}
+	// n <= 0 selects the default 21-point grid.
+	if c := SuccessCurve([]float64{0.5}, 0); len(c) != 21 {
+		t.Fatalf("default grid %d, want 21", len(c))
+	}
+	if AUC(nil) != 0 {
+		t.Fatal("AUC of an empty curve must be 0")
+	}
+	// A single-frame sequence still yields the AUC ≈ AO identity.
+	single := []float64{0.37}
+	if auc := AUC(SuccessCurve(single, 2000)); math.Abs(auc-AO(single)) > 0.01 {
+		t.Fatalf("AUC %v far from AO %v on a single frame", auc, AO(single))
 	}
 }
