@@ -5,7 +5,7 @@ GO ?= go
 COVER_FLOOR ?= 60
 COVER_PKGS  ?= ./internal/serve ./internal/pipeline ./internal/detect
 
-.PHONY: all build binaries vet test short race bench cover check ci
+.PHONY: all build binaries vet lint test short race bench cover check ci
 
 all: ci
 
@@ -23,6 +23,12 @@ binaries:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own static-analysis pass (cmd/skynet-lint): the
+# determinism, float-hygiene, hot-path-allocation and error-discipline
+# checkers over every package. Zero unwaived findings is a CI gate.
+lint:
+	$(GO) run ./cmd/skynet-lint ./...
 
 test:
 	$(GO) test ./...
@@ -58,7 +64,7 @@ cover:
 
 # ci is the single verification entry point: everything must pass before a
 # commit lands.
-ci: vet test race build binaries
+ci: vet lint test race build binaries
 
 # check is kept as an alias for ci (the historical name).
 check: ci

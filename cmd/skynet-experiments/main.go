@@ -76,8 +76,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "skynet-experiments: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintln(f, table.Markdown())
-			f.Close()
+			_, werr := fmt.Fprintln(f, table.Markdown())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "skynet-experiments: writing %s: %v\n", *md, werr)
+				os.Exit(1)
+			}
 		}
 	}
 }

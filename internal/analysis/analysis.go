@@ -1,0 +1,173 @@
+// Package analysis is a small stdlib-only static-analysis framework plus
+// the checkers that machine-enforce this repository's correctness
+// disciplines: reproducible randomness (globalrand), order-stable float
+// reductions (maporder, floateq), the zero-allocation hot-path contract
+// established by the GEMM/conv work (hotalloc), and no silently dropped
+// errors (errdrop).
+//
+// The framework loads every package of the module with go/parser and
+// type-checks it with go/types against compiled export data (see load.go),
+// then runs pluggable checkers over each package. Findings can be waived
+// in source with
+//
+//	//skynet:nolint checker1,checker2 -- reason
+//
+// on the offending line (or the line directly above it); the reason after
+// the ` -- ` separator is mandatory, so every waiver documents itself.
+// Functions annotated with a
+//
+//	//skynet:hotpath
+//
+// doc-comment line opt in to the hotalloc checker's allocation ban.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the canonical `file:line: [checker]
+// message` form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Checker, d.Message)
+}
+
+// Checker is one pluggable analysis.
+type Checker struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All lists every registered checker in output order.
+var All = []*Checker{GlobalRand, MapOrder, FloatEq, HotAlloc, ErrDrop}
+
+// ByName resolves a checker by its name.
+func ByName(name string) *Checker {
+	for _, c := range All {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Pass is the per-(package, checker) context handed to Checker.Run.
+type Pass struct {
+	Pkg     *Package
+	checker *Checker
+	sink    func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.sink(Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Checker: p.checker.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the checkers over the packages, applies nolint waivers,
+// and returns the surviving diagnostics sorted by file, line and checker.
+// Malformed waiver comments (missing checker list or missing ` -- reason`)
+// are themselves reported and cannot be waived.
+func Run(pkgs []*Package, checkers []*Checker) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		waivers, malformed := collectWaivers(pkg)
+		sink := func(d Diagnostic) {
+			if !waivers.covers(d) {
+				diags = append(diags, d)
+			}
+		}
+		for _, c := range checkers {
+			c.Run(&Pass{Pkg: pkg, checker: c, sink: sink})
+		}
+		diags = append(diags, malformed...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Checker < b.Checker
+	})
+	return diags
+}
+
+// WriteText prints one diagnostic per line, with file paths relative to
+// base when possible.
+func WriteText(w io.Writer, base string, diags []Diagnostic) error {
+	for _, d := range diags {
+		d.File = relPath(base, d.File)
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON prints the diagnostics as a JSON array, with file paths
+// relative to base when possible.
+func WriteJSON(w io.Writer, base string, diags []Diagnostic) error {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		d.File = relPath(base, d.File)
+		out[i] = d
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func relPath(base, file string) string {
+	if base == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(base, file); err == nil && !filepath.IsAbs(rel) && rel != "" && !isParentPath(rel) {
+		return rel
+	}
+	return file
+}
+
+func isParentPath(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// isTestFile reports whether pos lies in a _test.go file. Several
+// checkers exempt test code outright.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	name := fset.Position(pos).Filename
+	return len(name) >= 8 && name[len(name)-8:] == "_test.go"
+}
+
+// inspect walks every file of a package with one callback.
+func inspect(files []*ast.File, fn func(ast.Node) bool) {
+	for _, f := range files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+// Framework-level tests: the whole real tree must lint clean (the same
+// gate `make lint` enforces in CI), and the two output formats must
+// render findings faithfully.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRealTreeClean runs every checker over every package of the module
+// and demands zero unwaived diagnostics — the acceptance gate that keeps
+// the determinism, float-hygiene and hot-path disciplines enforced on the
+// actual code, not just on testdata.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := testLoader().Load("skynet/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages, expected the whole module", len(pkgs))
+	}
+	diags := Run(pkgs, All)
+	for _, d := range diags {
+		t.Errorf("unwaived finding: %s", d.String())
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "internal/pso/pso.go", Line: 108, Col: 2,
+		Checker: "maporder", Message: "map iteration order is random"}
+	want := "internal/pso/pso.go:108: [maporder] map iteration order is random"
+	if got := d.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestWriteTextRelativizesPaths(t *testing.T) {
+	var buf bytes.Buffer
+	diags := []Diagnostic{
+		{File: "/repo/pkg/a.go", Line: 3, Checker: "floateq", Message: "m1"},
+		{File: "/elsewhere/b.go", Line: 7, Checker: "errdrop", Message: "m2"},
+	}
+	if err := WriteText(&buf, "/repo", diags); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pkg/a.go:3: [floateq] m1\n") {
+		t.Errorf("in-base path not relativized:\n%s", out)
+	}
+	if !strings.Contains(out, "/elsewhere/b.go:7: [errdrop] m2\n") {
+		t.Errorf("out-of-base path rewritten:\n%s", out)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := []Diagnostic{{File: "x.go", Line: 1, Col: 2, Checker: "globalrand", Message: "msg"}}
+	if err := WriteJSON(&buf, "", in); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round-trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, c := range All {
+		if ByName(c.Name) != c {
+			t.Errorf("ByName(%q) did not return the registered checker", c.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Errorf("ByName(nosuch) = non-nil")
+	}
+}

@@ -1,0 +1,128 @@
+package analysis
+
+// errdrop flags expression-statement calls whose returned error vanishes.
+// A dropped error in the serving or training stack turns a failed encode,
+// a short write, or a closed connection into silent data corruption; the
+// call must either handle the error, assign it explicitly (`_ = f()`
+// reads as a decision), or carry a waiver naming why the error is
+// unactionable.
+//
+// Exemptions: test files; the fmt.Print/Printf/Println stdout trio
+// (terminal write failures are conventionally unactionable), and their
+// fmt.Fprint* forms when the destination is os.Stdout/os.Stderr for the
+// same reason; fmt.Fprint* into a *strings.Builder or *bytes.Buffer
+// (which never return a non-nil error) or a *bufio.Writer (whose error is
+// sticky and surfaces at the Flush call sites do check); and methods
+// called directly on *bytes.Buffer and *strings.Builder.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error results.
+var ErrDrop = &Checker{
+	Name: "errdrop",
+	Doc:  "expression statement discards a returned error outside tests",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	info := p.Pkg.Info
+	inspect(p.Pkg.Files, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isTestFile(p.Pkg.Fset, call.Pos()) {
+			return true
+		}
+		if !returnsError(info, call) || errDropExempt(info, call) {
+			return true
+		}
+		p.Reportf(call.Pos(), "call discards its error result; handle it, assign to _, or waive with the reason it is unactionable")
+		return true
+	})
+}
+
+// returnsError reports whether the call's result (or last result of a
+// tuple) has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	// fmt.Print / fmt.Printf / fmt.Println to stdout.
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && exemptWriter(info, call.Args[0])
+		}
+	}
+	// Methods documented to always return a nil error.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		switch namedTypeName(recv.Type()) {
+		case "bytes.Buffer", "strings.Builder":
+			return true
+		}
+	}
+	return false
+}
+
+// exemptWriter reports whether a fmt.Fprint* destination is one whose
+// write errors are unactionable (stdout/stderr) or deferred to an
+// explicit check elsewhere (in-memory builders; bufio's sticky error).
+func exemptWriter(info *types.Info, w ast.Expr) bool {
+	if sel, ok := ast.Unparen(w).(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	switch namedTypeName(info.TypeOf(w)) {
+	case "bytes.Buffer", "strings.Builder", "bufio.Writer":
+		return true
+	}
+	return false
+}
+
+// namedTypeName returns "pkgpath.Name" of t after stripping one pointer
+// level, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,66 @@
+package analysis
+
+// floateq flags == and != between floating-point operands. After any
+// arithmetic, exact float equality is a rounding-mode lottery — two
+// mathematically equal reductions disagree in the last ulp and the branch
+// flips between platforms or worker counts. Comparing against an exact
+// zero literal is exempt: zero is preserved by IEEE 754 assignment and
+// the sparsity-skip idiom (`if g == 0 { continue }`) is deliberate and
+// well-defined. Any other exact comparison that is genuinely intended
+// (golden-value checks, bitwise-determinism assertions) documents itself
+// with a waiver.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags float equality comparisons.
+var FloatEq = &Checker{
+	Name: "floateq",
+	Doc:  "== or != on floating-point operands; compare with a tolerance or document bitwise intent with a waiver",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	info := p.Pkg.Info
+	inspect(p.Pkg.Files, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(info, be.X) || !isFloat(info, be.Y) {
+			return true
+		}
+		if isZeroConst(info, be.X) || isZeroConst(info, be.Y) {
+			return true
+		}
+		p.Reportf(be.OpPos, "%s on float operands is not portable after arithmetic; use a tolerance or waive with the bitwise rationale", be.Op)
+		return true
+	})
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

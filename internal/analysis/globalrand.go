@@ -1,0 +1,61 @@
+package analysis
+
+// globalrand bans the package-global math/rand functions in library code.
+// The global generator is shared mutable state: any call site that draws
+// from it makes every downstream random stream depend on global call
+// order, which destroys fixed-seed reproducibility the moment two code
+// paths interleave differently (a new goroutine, a reordered init, an
+// extra draw in a warm-up pass). PR 3 made fixed-seed training bitwise
+// identical across GOMAXPROCS; this checker keeps it that way by forcing
+// every producer of randomness to accept a seeded *rand.Rand.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandAllowed lists the math/rand package-level functions that do
+// not touch the global generator.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// GlobalRand flags uses of top-level math/rand functions outside tests.
+var GlobalRand = &Checker{
+	Name: "globalrand",
+	Doc:  "use of the package-global math/rand generator in non-test code; thread a seeded *rand.Rand instead",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) {
+	info := p.Pkg.Info
+	inspect(p.Pkg.Files, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := info.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkgName.Imported().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || globalRandAllowed[fn.Name()] {
+			return true
+		}
+		if isTestFile(p.Pkg.Fset, sel.Pos()) {
+			return true
+		}
+		p.Reportf(sel.Pos(), "package-global rand.%s makes output depend on global call order; thread a seeded *rand.Rand", fn.Name())
+		return true
+	})
+}

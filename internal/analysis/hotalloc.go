@@ -1,0 +1,103 @@
+package analysis
+
+// hotalloc enforces the zero-allocation contract on functions annotated
+//
+//	//skynet:hotpath
+//
+// in their doc comment: the GEMM micro/macro-kernels and packing
+// routines, the steady-state convolution forward kernels, and the
+// pipeline executor's per-item stage loop. PR 1 established (and tests
+// with testing.AllocsPerRun) that these paths allocate nothing once warm;
+// this checker catches the regression at review time instead of waiting
+// for an alloc-count test to trip.
+//
+// Inside an annotated function the checker flags the constructs that heap-
+// allocate on every execution: make, new, append, function literals
+// (closure headers escape), map and slice composite literals, and
+// address-taken composite literals (`&T{...}`). A plain struct or array
+// composite *value* (e.g. a token sent by value over a channel, a
+// fixed-size accumulator tile) stays on the stack and is allowed.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const hotpathDirective = "//skynet:hotpath"
+
+// HotAlloc flags allocations inside //skynet:hotpath functions.
+var HotAlloc = &Checker{
+	Name: "hotalloc",
+	Doc:  "allocation (make/new/append/closure/escaping composite literal) inside a //skynet:hotpath function",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotBody(p, fd)
+		}
+	}
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //skynet:hotpath directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure literal allocates in hotpath function %s", name)
+			return false // inner allocations belong to the closure finding
+		case *ast.CallExpr:
+			if b := builtinName(info, n); b == "make" || b == "new" || b == "append" {
+				p.Reportf(n.Pos(), "%s allocates in hotpath function %s", b, name)
+			}
+		case *ast.UnaryExpr:
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				p.Reportf(cl.Pos(), "address-taken composite literal escapes in hotpath function %s", name)
+				return false
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates in hotpath function %s", name)
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates in hotpath function %s", name)
+			}
+		}
+		return true
+	})
+}
+
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

@@ -1,0 +1,185 @@
+package analysis
+
+// maporder flags `range` over a map when the loop body does something
+// order-sensitive: accumulates floating-point values (float addition is
+// not associative, so the sum is a different bit pattern per iteration
+// order), appends map *values* to a result slice, or calls into the
+// numeric packages (internal/nn, internal/pso) whose outputs feed
+// training and search. This is exactly the bug class behind the
+// nondeterministic Eq. 1 fitness: summing per-hardware latency penalties
+// in map-iteration order made `Fit` differ run to run.
+//
+// The canonical fix — collect the keys, sort them, then range over the
+// sorted slice — is recognized and allowed: appending only the range
+// *key* inside the loop does not trip the checker.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mapOrderSensitivePkgs are import-path prefixes whose call results are
+// treated as order-sensitive numeric work.
+var mapOrderSensitivePkgs = []string{
+	"skynet/internal/nn",
+	"skynet/internal/pso",
+}
+
+// MapOrder flags order-sensitive work inside map iteration.
+var MapOrder = &Checker{
+	Name: "maporder",
+	Doc:  "order-sensitive body (float accumulation, value append, numeric call) inside map iteration; iterate sorted keys",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	info := p.Pkg.Info
+	inspect(p.Pkg.Files, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if reason := mapOrderSensitive(info, rs); reason != "" {
+			p.Reportf(rs.For, "map iteration order is random and the body %s; iterate over sorted keys", reason)
+		}
+		return true
+	})
+}
+
+// mapOrderSensitive inspects the body of a map-range statement and
+// returns a human-readable reason if any order-sensitive construct is
+// found, or "" if the body is order-insensitive.
+func mapOrderSensitive(info *types.Info, rs *ast.RangeStmt) string {
+	keyObj := rangeVarObj(info, rs.Key)
+	reason := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested loops are scanned with the same rules; their own map
+			// ranges get their own diagnostic.
+		case *ast.AssignStmt:
+			if isFloatOpAssign(info, n) {
+				reason = "accumulates floats"
+				return false
+			}
+		case *ast.CallExpr:
+			if isAppendCall(info, n) {
+				if !appendsOnlyKey(info, n, keyObj) {
+					reason = "appends to a result slice"
+					return false
+				}
+				return true
+			}
+			if pkg := calleePkgPrefix(info, n); pkg != "" {
+				reason = "calls into " + pkg + " numeric code"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// rangeVarObj resolves the object of a range variable expression (the
+// key identifier), or nil.
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// isFloatOpAssign reports float `+=`-family accumulation, or a plain
+// `x = x <op> ...` self-update with float LHS.
+func isFloatOpAssign(info *types.Info, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return len(as.Lhs) == 1 && isFloat(info, as.Lhs[0])
+	case token.ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 || !isFloat(info, as.Lhs[0]) {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			return false
+		}
+		selfRef := false
+		ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				selfRef = true
+			}
+			return !selfRef
+		})
+		return selfRef
+	}
+	return false
+}
+
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendsOnlyKey reports whether every appended element is exactly the
+// range key variable — the sorted-keys collection idiom.
+func appendsOnlyKey(info *types.Info, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if o := info.Uses[id]; o != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// calleePkgPrefix returns the matching sensitive package prefix if the
+// call's callee is declared in one, else "".
+func calleePkgPrefix(info *types.Info, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	for _, prefix := range mapOrderSensitivePkgs {
+		if path == prefix || (len(path) > len(prefix) && path[:len(prefix)+1] == prefix+"/") {
+			return prefix
+		}
+	}
+	return ""
+}

@@ -1,0 +1,119 @@
+package analysis
+
+// Waiver handling. A finding is suppressed by a comment of the form
+//
+//	//skynet:nolint checker1,checker2 -- reason
+//
+// either trailing the offending line or on the line directly above it.
+// The checker list may be the wildcard `all`. The ` -- reason` tail is
+// mandatory: a waiver that does not say why it exists is reported as a
+// malformed-waiver diagnostic, which cannot itself be waived.
+
+import (
+	"go/token"
+	"os"
+	"strings"
+)
+
+const nolintPrefix = "skynet:nolint"
+
+// waiverSet maps file -> line -> set of waived checker names ("all"
+// waives everything on the line).
+type waiverSet map[string]map[int]map[string]bool
+
+func (w waiverSet) add(file string, line int, checkers []string) {
+	byLine := w[file]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		w[file] = byLine
+	}
+	set := byLine[line]
+	if set == nil {
+		set = map[string]bool{}
+		byLine[line] = set
+	}
+	for _, c := range checkers {
+		set[c] = true
+	}
+}
+
+func (w waiverSet) covers(d Diagnostic) bool {
+	set := w[d.File][d.Line]
+	return set["all"] || set[d.Checker]
+}
+
+// collectWaivers scans every comment of the package for nolint directives
+// and returns the waiver set plus diagnostics for malformed directives.
+func collectWaivers(pkg *Package) (waiverSet, []Diagnostic) {
+	ws := waiverSet{}
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		var src []byte
+		if name := pkg.Fset.Position(f.Pos()).Filename; name != "" {
+			src, _ = os.ReadFile(name)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, nolintPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				checkers, problem := parseNolint(strings.TrimPrefix(text, nolintPrefix))
+				if problem != "" {
+					malformed = append(malformed, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Checker: "nolint", Message: problem,
+					})
+					continue
+				}
+				// A trailing comment waives its own line; a comment alone on
+				// its line waives the next line. Waiving both is harmless and
+				// keeps the common "directive above a multi-clause statement"
+				// case working.
+				ws.add(pos.Filename, pos.Line, checkers)
+				if src != nil && startsLine(pkg.Fset, src, c.Slash) {
+					ws.add(pos.Filename, pos.Line+1, checkers)
+				}
+			}
+		}
+	}
+	return ws, malformed
+}
+
+// parseNolint splits "` checker1,checker2 -- reason`" into the checker
+// list, validating names and requiring a non-empty reason.
+func parseNolint(rest string) (checkers []string, problem string) {
+	body, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, "malformed waiver: want //skynet:nolint <checkers> -- <reason>"
+	}
+	for _, name := range strings.FieldsFunc(body, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if name != "all" && ByName(name) == nil {
+			return nil, "malformed waiver: unknown checker " + name
+		}
+		checkers = append(checkers, name)
+	}
+	if len(checkers) == 0 {
+		return nil, "malformed waiver: no checkers named"
+	}
+	return checkers, ""
+}
+
+// startsLine reports whether the comment at pos stands alone on its line
+// (only whitespace before it) rather than trailing code. src is the
+// file's contents.
+func startsLine(fset *token.FileSet, src []byte, pos token.Pos) bool {
+	file := fset.File(pos)
+	if file == nil {
+		return false
+	}
+	start := file.Offset(file.LineStart(file.Line(pos)))
+	for _, b := range src[start:file.Offset(pos)] {
+		if b != ' ' && b != '\t' {
+			return false
+		}
+	}
+	return true
+}

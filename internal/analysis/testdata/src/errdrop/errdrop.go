@@ -1,0 +1,48 @@
+// Package errdrop exercises the errdrop checker: expression statements
+// that discard a returned error are flagged; handling, explicit discard,
+// and the documented writer exemptions are not.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func countAndFail() (int, error) { return 0, nil }
+
+// Bad drops errors on the floor.
+func Bad(w io.Writer) {
+	mayFail()             // want `\[errdrop\] call discards its error result`
+	countAndFail()        // want `\[errdrop\] call discards its error result`
+	fmt.Fprintf(w, "out") // want `\[errdrop\] call discards its error result`
+}
+
+// Good handles or explicitly discards.
+func Good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()
+	_, _ = countAndFail()
+	return nil
+}
+
+// Exempt covers the sanctioned destinations.
+func Exempt(sb *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("stdout is best-effort")
+	fmt.Fprintln(os.Stderr, "so is stderr")
+	fmt.Fprintf(sb, "builders never fail")
+	fmt.Fprintf(buf, "neither do buffers")
+	buf.WriteString("documented nil error")
+	sb.WriteByte('x')
+}
+
+// Waived documents an unactionable error.
+func Waived(f *os.File) {
+	f.Close() //skynet:nolint errdrop -- read-only handle, close failure is unactionable
+}

@@ -1,0 +1,34 @@
+// Package floateq exercises the floateq checker: exact float equality is
+// flagged except against a literal zero; tolerance comparisons and
+// integer equality are untouched.
+package floateq
+
+import "math"
+
+// Bad compares floats exactly.
+func Bad(a, b float64, x, y float32) bool {
+	if a == b { // want `\[floateq\] == on float operands`
+		return true
+	}
+	return x != y // want `\[floateq\] != on float operands`
+}
+
+// ZeroSentinel is the sanctioned sparsity-skip idiom.
+func ZeroSentinel(g float64) bool {
+	return g == 0 || 0.0 != g
+}
+
+// Tolerance is the recommended fix.
+func Tolerance(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// Ints are unaffected.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Waived documents a bitwise-exactness assertion.
+func Waived(a, b float64) bool {
+	return a == b //skynet:nolint floateq -- bitwise determinism check, exact equality intended
+}

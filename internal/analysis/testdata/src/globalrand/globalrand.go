@@ -1,0 +1,27 @@
+// Package globalrand exercises the globalrand checker: package-global
+// math/rand draws are flagged; constructing and threading a seeded
+// *rand.Rand is the sanctioned pattern.
+package globalrand
+
+import "math/rand"
+
+// Bad draws from the shared global generator.
+func Bad() float64 {
+	v := rand.Float64()                // want `\[globalrand\] package-global rand\.Float64`
+	v += float64(rand.Intn(10))        // want `\[globalrand\] package-global rand\.Intn`
+	rand.Shuffle(3, func(i, j int) {}) // want `\[globalrand\] package-global rand\.Shuffle`
+	return v
+}
+
+// Good threads an injected generator; constructing one is allowed.
+func Good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := rng.Float64()
+	v += float64(rng.Intn(10))
+	return v
+}
+
+// Waived documents a deliberate exception.
+func Waived() float64 {
+	return rand.Float64() //skynet:nolint globalrand -- demo waiver for the test suite
+}

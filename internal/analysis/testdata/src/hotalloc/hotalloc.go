@@ -1,0 +1,57 @@
+// Package hotalloc exercises the hotalloc checker: functions annotated
+// //skynet:hotpath may not allocate; unannotated functions are free to.
+package hotalloc
+
+type point struct{ x, y float64 }
+
+type state struct {
+	buf   []float64
+	tile  [16]float64
+	sum   float64
+	byKey map[string]int
+}
+
+// HotBad allocates in every way the checker knows.
+//
+//skynet:hotpath
+func HotBad(s *state, n int) {
+	s.buf = make([]float64, n)       // want `\[hotalloc\] make allocates in hotpath function HotBad`
+	s.buf = append(s.buf, 1)         // want `\[hotalloc\] append allocates in hotpath function HotBad`
+	p := new(point)                  // want `\[hotalloc\] new allocates in hotpath function HotBad`
+	q := &point{x: 1}                // want `\[hotalloc\] address-taken composite literal escapes in hotpath function HotBad`
+	vals := []float64{1, 2}          // want `\[hotalloc\] slice literal allocates in hotpath function HotBad`
+	s.byKey = map[string]int{"a": 1} // want `\[hotalloc\] map literal allocates in hotpath function HotBad`
+	f := func() float64 { return 0 } // want `\[hotalloc\] closure literal allocates in hotpath function HotBad`
+	s.sum = p.x + q.x + vals[0] + f()
+}
+
+// HotGood uses only stack values and preallocated state.
+//
+//skynet:hotpath
+func HotGood(s *state) {
+	var acc [4]float64
+	p := point{x: 1, y: 2}
+	for i := range s.buf {
+		acc[i%4] += s.buf[i] * p.x
+	}
+	s.tile[0] = acc[0] + acc[1] + acc[2] + acc[3]
+}
+
+// Cold is unannotated: allocation is fine here.
+func Cold(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+// HotWaived documents a known warm-up allocation.
+//
+//skynet:hotpath
+func HotWaived(s *state, n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n) //skynet:nolint hotalloc -- grow-once warm-up; steady state reuses the buffer
+	}
+	s.buf = s.buf[:n]
+}

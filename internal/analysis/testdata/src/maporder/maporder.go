@@ -1,0 +1,78 @@
+// Package maporder exercises the maporder checker: order-sensitive work
+// inside `range` over a map is flagged; the collect-keys-then-sort idiom
+// and order-insensitive bodies are not.
+package maporder
+
+import (
+	"sort"
+
+	"skynet/internal/nn"
+)
+
+// SumFloats accumulates float map values in iteration order.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `\[maporder\] map iteration order is random and the body accumulates floats`
+		total += v
+	}
+	return total
+}
+
+// SelfAssignSum is the `x = x + v` spelling of the same bug.
+func SelfAssignSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `\[maporder\] map iteration order is random and the body accumulates floats`
+		total = total + v
+	}
+	return total
+}
+
+// CollectValues appends map values, so the slice order is random.
+func CollectValues(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m { // want `\[maporder\] map iteration order is random and the body appends to a result slice`
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// NumericCall reaches into internal/nn per iteration.
+func NumericCall(m map[string]nn.LRSchedule) float32 {
+	var last float32
+	for _, s := range m { // want `\[maporder\] map iteration order is random and the body calls into skynet/internal/nn numeric code`
+		last = s.At(0)
+	}
+	return last
+}
+
+// SortedSum is the canonical fix: keys out, sort, then range the slice.
+func SortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// CountInts is order-insensitive: integer addition is associative.
+func CountInts(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Invert builds another map; insertion order does not matter.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+// Package nolint exercises the waiver machinery itself: trailing and
+// preceding-line placement, the `all` wildcard, and malformed directives
+// (which are reported and cannot be waived).
+package nolint
+
+import "math/rand"
+
+// TrailingWaiver suppresses on the same line.
+func TrailingWaiver() float64 {
+	return rand.Float64() //skynet:nolint globalrand -- trailing-placement test
+}
+
+// PrecedingWaiver suppresses from the line above.
+func PrecedingWaiver() float64 {
+	//skynet:nolint globalrand -- preceding-placement test
+	return rand.Float64()
+}
+
+// AllWildcard waives every checker on the line.
+func AllWildcard(a, b float64) bool {
+	return rand.Float64() > 1 && a == b //skynet:nolint all -- wildcard-placement test
+}
+
+// WrongChecker waives a checker that does not fire here, so the real
+// finding still surfaces.
+func WrongChecker() float64 {
+	//skynet:nolint floateq -- wrong checker on purpose; the globalrand finding must survive
+	return rand.Float64() // want `\[globalrand\] package-global rand\.Float64`
+}
+
+// Malformed directives are themselves diagnostics.
+func Malformed() {
+	//skynet:nolint globalrand // want `\[nolint\] malformed waiver: want //skynet:nolint`
+	//skynet:nolint nosuchchecker -- typo in the checker name // want `\[nolint\] malformed waiver: unknown checker nosuchchecker`
+	//skynet:nolint -- no checkers named // want `\[nolint\] malformed waiver: no checkers named`
+}

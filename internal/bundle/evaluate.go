@@ -83,8 +83,11 @@ func EvaluateAll(bundles []Bundle, acc AccuracyFn, sketch SketchConfig, inH, inW
 func ParetoSelect(evals []Evaluation) []Evaluation {
 	sorted := append([]Evaluation(nil), evals...)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].FPGALatMS != sorted[j].FPGALatMS {
-			return sorted[i].FPGALatMS < sorted[j].FPGALatMS
+		if sorted[i].FPGALatMS < sorted[j].FPGALatMS {
+			return true
+		}
+		if sorted[i].FPGALatMS > sorted[j].FPGALatMS {
+			return false
 		}
 		return sorted[i].Acc > sorted[j].Acc
 	})

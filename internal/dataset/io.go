@@ -97,7 +97,7 @@ func Export(dir string, samples []detect.Sample) error {
 			return err
 		}
 		if err := WritePPM(f, s.Image); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup; the write error is the one to report
 			return err
 		}
 		if err := f.Close(); err != nil {

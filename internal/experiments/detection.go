@@ -151,7 +151,7 @@ func Fig7(o Options) Table {
 			path := filepath.Join(o.OutDir, fmt.Sprintf("fig7_scene%d.ppm", i+1))
 			if f, err := os.Create(path); err == nil {
 				_ = dataset.WritePPM(f, img)
-				f.Close()
+				_ = f.Close() // debug render is best-effort by design
 				t.Notes = append(t.Notes, "wrote "+path)
 			}
 		}

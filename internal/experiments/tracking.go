@@ -183,7 +183,7 @@ func Fig8(o Options) Table {
 			path := filepath.Join(o.OutDir, fmt.Sprintf("fig8_frame%d.ppm", f))
 			if fh, err := os.Create(path); err == nil {
 				_ = dataset.WritePPM(fh, img)
-				fh.Close()
+				_ = fh.Close() // debug render is best-effort by design
 				t.Notes = append(t.Notes, "wrote "+path)
 			}
 		}

@@ -80,6 +80,12 @@ func (c *Conv2D) Params() []*Param {
 	return []*Param{c.Weight}
 }
 
+// Forward lowers the convolution to GEMM via im2col. The serial path is
+// the steady-state inference hot path and performs no heap allocation
+// once the layer's scratch is warm (see reuse.go); the data-parallel
+// branch trades one closure allocation per call for batch parallelism.
+//
+//skynet:hotpath
 func (c *Conv2D) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
 	x := one(xs, c.label)
 	expect4D(x, c.InC, c.label)
@@ -98,6 +104,7 @@ func (c *Conv2D) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
 		// per-worker scratch cached on the layer: one buffer per worker for
 		// the layer's lifetime, not one per image per call.
 		c.ensureWorkerCols(nw, rows, cols)
+		//skynet:nolint hotalloc -- parallel branch: one closure per batched call, amortized; the serial steady state below allocates nothing
 		parallelForWorkers(n, func(worker, i int) {
 			col := c.wcols[worker]
 			img := tensor.FromSlice(x.Data[i*imgSz:(i+1)*imgSz], c.InC, h, w)
@@ -326,6 +333,8 @@ func (d *DWConv3) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
 
 // forwardPlane computes one (image, channel) output plane; idx indexes the
 // flattened n×C plane grid.
+//
+//skynet:hotpath
 func (d *DWConv3) forwardPlane(xd, od []float32, h, w, idx int) {
 	ch := idx % d.C
 	in := xd[idx*h*w:]

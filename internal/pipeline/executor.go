@@ -273,7 +273,12 @@ func (r *run) startStage(idx int, in <-chan token) <-chan token {
 	return out
 }
 
-// itemWorker is the per-item stage loop.
+// itemWorker is the per-item stage loop: the steady-state body of every
+// streaming stage. It must not allocate per item — tokens travel by
+// value and counters mutate in place — so a saturated pipeline puts no
+// pressure on the garbage collector.
+//
+//skynet:hotpath
 func (r *run) itemWorker(spec StageSpec, c *stageCounters, in <-chan token, out chan<- token) {
 	for {
 		tWait := time.Now()

@@ -1,0 +1,64 @@
+package pso
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestFitnessMapInsertionOrderStable pins the Eq. 1 fix: the latency
+// penalty term is summed over sorted hardware keys, so Fit must be
+// bitwise identical no matter how the latency map was built or iterated.
+// The platform values are chosen so float addition is non-associative
+// across orders (magnitudes spanning ~16 decimal digits): before the fix,
+// summing in map-iteration order produced last-ulp differences between
+// runs, which flipped > comparisons inside Search.
+func TestFitnessMapInsertionOrderStable(t *testing.T) {
+	platforms := []string{"fpga", "gpu", "tpu", "cpu", "dsp", "npu"}
+	lats := []float64{1e8, 1.1, -1e8, 3.3333333333333335, 1e-8, 7.777777}
+	targets := []float64{5.0, 1e8, -1e8 + 1, 1.0, 0, 2.5}
+	betas := []float64{0.9, 1e-9, 1e9, 0.3333333333333333, 1.0, 0.1}
+
+	cfg := Config{
+		Alpha:               1.0,
+		Beta:                map[string]float64{},
+		TargetMS:            map[string]float64{},
+		PaperLiteralFitness: true, // abs-deviation form exercises every term
+	}
+	for i, h := range platforms {
+		cfg.Beta[h] = betas[i]
+		cfg.TargetMS[h] = targets[i]
+	}
+
+	// Reference: the sorted-key sum Eq. 1 is specified to compute.
+	sortedH := append([]string(nil), platforms...)
+	sort.Strings(sortedH)
+	idx := map[string]int{}
+	for i, h := range platforms {
+		idx[h] = i
+	}
+	const acc = 0.75
+	var term float64
+	for _, h := range sortedH {
+		i := idx[h]
+		term += betas[i] * math.Abs(lats[i]-targets[i])
+	}
+	want := acc + cfg.Alpha*term
+
+	// Build the latency map in a different shuffled insertion order each
+	// round; Go additionally randomizes iteration order per range, so 100
+	// rounds give overwhelming coverage of distinct orders.
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 100; round++ {
+		perm := rng.Perm(len(platforms))
+		lat := make(map[string]float64, len(platforms))
+		for _, i := range perm {
+			lat[platforms[i]] = lats[i]
+		}
+		if got := cfg.Fitness(acc, lat); got != want {
+			t.Fatalf("round %d: Fit = %.17g, want bitwise-identical %.17g (Δ=%g)",
+				round, got, want, got-want)
+		}
+	}
+}

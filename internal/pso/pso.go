@@ -103,9 +103,21 @@ type Result struct {
 // Fitness implements Equation 1. In the penalty form (default) latency
 // overshoot beyond the target subtracts from accuracy; the paper-literal
 // form adds the absolute deviation term with a positive sign.
+//
+// The per-platform penalties are summed over sorted hardware keys: float
+// addition is not associative, so summing in map-iteration order would
+// make Fit differ in the last ulp from run to run, and the search (which
+// compares fitness with >) would become nondeterministic under a fixed
+// seed.
 func (c Config) Fitness(acc float64, lat map[string]float64) float64 {
+	hs := make([]string, 0, len(lat))
+	for h := range lat {
+		hs = append(hs, h)
+	}
+	sort.Strings(hs)
 	var term float64
-	for h, l := range lat {
+	for _, h := range hs {
+		l := lat[h]
 		beta := c.Beta[h]
 		dev := math.Abs(l - c.TargetMS[h])
 		if !c.PaperLiteralFitness {

@@ -190,6 +190,8 @@ func gemmExec(c gemmCall) {
 }
 
 // run executes the blocked loop nest over columns [j0, j1) of C.
+//
+//skynet:hotpath
 func (g *gemmCall) run(j0, j1 int, s *gemmScratch) {
 	for jc := j0; jc < j1; jc += gemmNC {
 		nc := min(gemmNC, j1-jc)
@@ -208,6 +210,8 @@ func (g *gemmCall) run(j0, j1 int, s *gemmScratch) {
 }
 
 // macroKernel sweeps the MR×NR micro-tiles of the current (ic, jc) block.
+//
+//skynet:hotpath
 func (g *gemmCall) macroKernel(s *gemmScratch, ic, mc, jc, nc, kc int, overwrite, bias bool) {
 	var tile [gemmMR * gemmNR]float32
 	for jr := 0; jr < nc; jr += gemmNR {
@@ -226,6 +230,8 @@ func (g *gemmCall) macroKernel(s *gemmScratch, ic, mc, jc, nc, kc int, overwrite
 // holds kc rows of MR A-values, bp holds kc rows of NR B-values. The MR·NR
 // accumulators are few enough to stay in registers; each k iteration
 // performs MR·NR multiply-adds against MR+NR loads.
+//
+//skynet:hotpath
 func microKernel(kc int, ap, bp []float32, tile *[gemmMR * gemmNR]float32) {
 	var c00, c01, c02, c03 float32
 	var c10, c11, c12, c13 float32
@@ -339,6 +345,8 @@ func microKernel(kc int, ap, bp []float32, tile *[gemmMR * gemmNR]float32) {
 // storeTile writes a micro-tile into C, clipping the zero-padded edge rows
 // and columns. On the overwrite pass (first k block, non-accumulating call)
 // it also applies the fused bias epilogue.
+//
+//skynet:hotpath
 func (g *gemmCall) storeTile(tile *[gemmMR * gemmNR]float32, i0, j0, mr, nr int, overwrite, bias bool) {
 	for r := 0; r < mr; r++ {
 		crow := g.c[(i0+r)*g.ldc+j0 : (i0+r)*g.ldc+j0+nr]
@@ -369,6 +377,8 @@ func (g *gemmCall) storeTile(tile *[gemmMR * gemmNR]float32, i0, j0, mr, nr int,
 // packA copies A[ic:ic+mc, pc:pc+kc] into MR-row panels: panel ir/MR holds
 // kc groups of MR consecutive row values, zero-padded past mc. The packed
 // layout is exactly the order micro4x8 reads.
+//
+//skynet:hotpath
 func (g *gemmCall) packA(dst []float32, ic, mc, pc, kc int) {
 	mcp := (mc + gemmMR - 1) / gemmMR * gemmMR
 	if g.aTrans {
@@ -414,6 +424,8 @@ func (g *gemmCall) packA(dst []float32, ic, mc, pc, kc int) {
 
 // packB copies B[pc:pc+kc, jc:jc+nc] into NR-column panels: panel jr/NR
 // holds kc groups of NR consecutive column values, zero-padded past nc.
+//
+//skynet:hotpath
 func (g *gemmCall) packB(dst []float32, pc, kc, jc, nc int) {
 	ncp := (nc + gemmNR - 1) / gemmNR * gemmNR
 	if g.bTrans {

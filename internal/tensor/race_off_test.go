@@ -1,0 +1,9 @@
+//go:build !race
+
+package tensor
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// tests skip under -race because the instrumented runtime both allocates and
+// makes sync.Pool deliberately drop a fraction of Puts, so a warmed scratch
+// pool can still miss.
+const raceEnabled = false

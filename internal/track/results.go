@@ -73,7 +73,7 @@ func WriteSubmission(dir string, results []SequenceResult) error {
 				b.W*float64(r.ImageW), b.H*float64(r.ImageH))
 		}
 		if err := w.Flush(); err != nil {
-			bf.Close()
+			_ = bf.Close() // best-effort cleanup; the flush error is the one to report
 			return err
 		}
 		if err := bf.Close(); err != nil {
@@ -88,7 +88,7 @@ func WriteSubmission(dir string, results []SequenceResult) error {
 			fmt.Fprintf(tw, "%.6f\n", s)
 		}
 		if err := tw.Flush(); err != nil {
-			tf.Close()
+			_ = tf.Close() // best-effort cleanup; the flush error is the one to report
 			return err
 		}
 		if err := tf.Close(); err != nil {
@@ -136,7 +136,7 @@ func ScoreSubmission(dir string, names []string, seqs []dataset.Sequence) (EvalR
 			return EvalResult{}, err
 		}
 		boxes, err := ReadSubmissionBoxes(f, seqs[i].Frames[0].Dim(2), seqs[i].Frames[0].Dim(1))
-		f.Close()
+		_ = f.Close() // read-only handle; close failure cannot corrupt anything
 		if err != nil {
 			return EvalResult{}, err
 		}
