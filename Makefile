@@ -3,9 +3,9 @@ GO ?= go
 # Per-package coverage floor (percent) enforced by `make cover` on the
 # serving-critical packages.
 COVER_FLOOR ?= 60
-COVER_PKGS  ?= ./internal/serve ./internal/pipeline ./internal/detect
+COVER_PKGS  ?= ./internal/serve ./internal/pipeline ./internal/detect ./internal/quant
 
-.PHONY: all build binaries vet lint test short race bench cover check ci
+.PHONY: all build binaries vet lint test short race bench bench-quant cover check ci
 
 all: ci
 
@@ -47,6 +47,12 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMatMul|BenchmarkConvForwardSteadyState|BenchmarkTable2Backbones' -benchtime 10x .
+
+# bench-quant compares the int8 GEMM kernels against float32 at SkyNet
+# layer shapes; both report GOPS and operand bytes/op (the int8 path moves
+# 4x fewer bytes), and -benchmem surfaces the zero-allocation contract.
+bench-quant:
+	$(GO) test -run xxx -bench 'BenchmarkInt8GEMMShapes|BenchmarkFloatGEMMShapes' -benchmem ./internal/tensor
 
 # cover measures statement coverage on the serving-critical packages and
 # fails if any of them drops below COVER_FLOOR percent.

@@ -4,10 +4,15 @@
 // per-image IoU, the aggregate R_IoU (Equation 2), throughput, and the
 // measured per-stage breakdown, with optional ASCII rendering.
 //
+// With -quantize the loaded model is lowered to the real int8 engine
+// (per-channel weights, per-tensor activations calibrated on -calib
+// freshly generated scenes) before serving the stream.
+//
 // Usage:
 //
 //	skynet-train -variant C -width 0.25 -o skynet.gob
 //	skynet-detect -weights skynet.gob -variant C -width 0.25 -n 32 -render
+//	skynet-detect -weights skynet.gob -variant C -width 0.25 -quantize -calib 64
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 	"skynet/internal/modelspec"
 	"skynet/internal/nn"
 	"skynet/internal/pipeline"
+	"skynet/internal/quant"
+	"skynet/internal/tensor"
 )
 
 func main() {
@@ -40,6 +47,10 @@ func main() {
 		render  = flag.Bool("render", false, "ASCII-render each detection")
 		batch   = flag.Int("batch", 4, "inference micro-batch size")
 		delayMS = flag.Int("maxdelay", 5, "max milliseconds a partial inference batch waits")
+
+		quantize = flag.Bool("quantize", false, "run the int8 lowering of the model (post-training quantization)")
+		calibN   = flag.Int("calib", 32, "calibration scenes drawn for -quantize")
+		calibPct = flag.Float64("calib-pct", 0, "percentile activation calibration for -quantize (0 = min-max, e.g. 99.9)")
 	)
 	flag.Parse()
 	var g *nn.Graph
@@ -78,8 +89,20 @@ func main() {
 	dcfg := dataset.DefaultConfig()
 	dcfg.W, dcfg.H = *imgW, *imgH
 	dcfg.Seed = *seed
-	gen := dataset.NewGenerator(dcfg)
 
+	var model detect.Model = g
+	if *quantize {
+		qm, err := quantizeModel(g, dcfg, *calibN, *calibPct)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-detect: quantize: %v\n", err)
+			os.Exit(1)
+		}
+		i8, fb, fused := qm.Stats()
+		fmt.Printf("int8 lowering: %d int8 units, %d float fallback, %d nodes fused\n", i8, fb, fused)
+		model = qm
+	}
+
+	gen := dataset.NewGenerator(dcfg)
 	scenes := make([]dataset.Scene, *n)
 	frames := make([]any, *n)
 	for i := range frames {
@@ -87,7 +110,7 @@ func main() {
 		frames[i] = &detect.Frame{Image: scenes[i].Image, GT: scenes[i].Box}
 	}
 
-	ex, err := detect.NewStreamExecutor(g, head, detect.StreamConfig{
+	ex, err := detect.NewStreamExecutor(model, head, detect.StreamConfig{
 		MaxBatch: *batch,
 		MaxDelay: time.Duration(*delayMS) * time.Millisecond,
 	})
@@ -120,4 +143,31 @@ func main() {
 	for _, s := range ex.Stats() {
 		fmt.Printf("  %s\n", s)
 	}
+}
+
+// quantizeModel lowers g to a real int8 model, calibrating activations on
+// freshly generated scenes. The calibration stream uses a shifted seed so
+// it never replays the evaluation scenes.
+func quantizeModel(g *nn.Graph, dcfg dataset.Config, calibN int, pct float64) (*quant.QuantizedModel, error) {
+	dcfg.Seed++
+	gen := dataset.NewGenerator(dcfg)
+	const bs = 8
+	var batches []*tensor.Tensor
+	for lo := 0; lo < calibN; lo += bs {
+		b := bs
+		if lo+b > calibN {
+			b = calibN - lo
+		}
+		x := tensor.New(b, 3, dcfg.H, dcfg.W)
+		per := 3 * dcfg.H * dcfg.W
+		for i := 0; i < b; i++ {
+			copy(x.Data[i*per:(i+1)*per], gen.Scene().Image.Data)
+		}
+		batches = append(batches, x)
+	}
+	cfg := quant.ExportConfig{}
+	if pct > 0 {
+		cfg.Calib = quant.CalibConfig{Method: quant.CalibPercentile, Percentile: pct}
+	}
+	return quant.Export(g, batches, cfg)
 }

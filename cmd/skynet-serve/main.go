@@ -8,10 +8,15 @@
 // SIGTERM or Ctrl-C drains gracefully: in-flight requests finish, new ones
 // are refused with 503.
 //
+// With -quantize the loaded model is lowered to the real int8 engine
+// (per-channel weights, per-tensor activations calibrated on -calib freshly
+// generated scenes) before serving, cutting activation traffic 4x per request.
+//
 // Usage:
 //
 //	skynet-train -variant C -width 0.25 -ckpt skynet.ckpt
 //	skynet-serve -ckpt skynet.ckpt -addr :8080
+//	skynet-serve -ckpt skynet.ckpt -addr :8080 -quantize -calib 64
 package main
 
 import (
@@ -26,10 +31,13 @@ import (
 	"time"
 
 	"skynet/internal/backbone"
+	"skynet/internal/dataset"
 	"skynet/internal/detect"
 	"skynet/internal/modelspec"
 	"skynet/internal/nn"
+	"skynet/internal/quant"
 	"skynet/internal/serve"
+	"skynet/internal/tensor"
 )
 
 func main() {
@@ -46,6 +54,12 @@ func main() {
 		queue   = flag.Int("queue", 64, "admission queue depth (overflow sheds with 429)")
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request deadline when the client sets none")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
+
+		quantize = flag.Bool("quantize", false, "serve the int8 lowering of the model (post-training quantization)")
+		calibN   = flag.Int("calib", 32, "calibration scenes drawn for -quantize")
+		calibPct = flag.Float64("calib-pct", 0, "percentile activation calibration for -quantize (0 = min-max, e.g. 99.9)")
+		imgW     = flag.Int("imgw", 96, "calibration scene width for -quantize")
+		imgH     = flag.Int("imgh", 48, "calibration scene height for -quantize")
 	)
 	flag.Parse()
 
@@ -54,8 +68,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skynet-serve: %v\n", err)
 		os.Exit(1)
 	}
+	var model detect.Model = g
+	if *quantize {
+		qm, err := quantizeModel(g, *imgW, *imgH, *calibN, *calibPct)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-serve: quantize: %v\n", err)
+			os.Exit(1)
+		}
+		i8, fb, fused := qm.Stats()
+		fmt.Printf("skynet-serve: int8 lowering: %d int8 units, %d float fallback, %d nodes fused\n", i8, fb, fused)
+		model = qm
+	}
 
-	srv, err := serve.New(g, head, serve.Config{
+	srv, err := serve.New(model, head, serve.Config{
 		MaxBatch:       *batch,
 		MaxDelay:       time.Duration(*delayMS) * time.Millisecond,
 		QueueDepth:     *queue,
@@ -78,6 +103,33 @@ func main() {
 	m := srv.Metrics()
 	fmt.Printf("skynet-serve: drained cleanly — served %d, failed %d, rejected %d, mean batch %.2f\n",
 		m.Served, m.Failed, m.Rejected, m.MeanBatchSize)
+}
+
+// quantizeModel lowers g to a real int8 model, calibrating activations on
+// freshly generated scenes at the expected request resolution.
+func quantizeModel(g *nn.Graph, imgW, imgH, calibN int, pct float64) (*quant.QuantizedModel, error) {
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = imgW, imgH
+	gen := dataset.NewGenerator(dcfg)
+	const bs = 8
+	var batches []*tensor.Tensor
+	for lo := 0; lo < calibN; lo += bs {
+		b := bs
+		if lo+b > calibN {
+			b = calibN - lo
+		}
+		x := tensor.New(b, 3, dcfg.H, dcfg.W)
+		per := 3 * dcfg.H * dcfg.W
+		for i := 0; i < b; i++ {
+			copy(x.Data[i*per:(i+1)*per], gen.Scene().Image.Data)
+		}
+		batches = append(batches, x)
+	}
+	cfg := quant.ExportConfig{}
+	if pct > 0 {
+		cfg.Calib = quant.CalibConfig{Method: quant.CalibPercentile, Percentile: pct}
+	}
+	return quant.Export(g, batches, cfg)
 }
 
 // loadModel mirrors skynet-detect's checkpoint/weights loading.

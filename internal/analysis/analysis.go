@@ -2,8 +2,8 @@
 // the checkers that machine-enforce this repository's correctness
 // disciplines: reproducible randomness (globalrand), order-stable float
 // reductions (maporder, floateq), the zero-allocation hot-path contract
-// established by the GEMM/conv work (hotalloc), and no silently dropped
-// errors (errdrop).
+// established by the GEMM/conv work (hotalloc), no silently dropped
+// errors (errdrop), and a package doc comment on every package (pkgdoc).
 //
 // The framework loads every package of the module with go/parser and
 // type-checks it with go/types against compiled export data (see load.go),
@@ -54,7 +54,7 @@ type Checker struct {
 }
 
 // All lists every registered checker in output order.
-var All = []*Checker{GlobalRand, MapOrder, FloatEq, HotAlloc, ErrDrop}
+var All = []*Checker{GlobalRand, MapOrder, FloatEq, HotAlloc, ErrDrop, PkgDoc}
 
 // ByName resolves a checker by its name.
 func ByName(name string) *Checker {

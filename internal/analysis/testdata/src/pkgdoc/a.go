@@ -1,0 +1,5 @@
+package pkgdoc // want `\[pkgdoc\] package pkgdoc has no package doc comment on any file`
+
+// Helper carries an ordinary declaration comment, which is not a package
+// doc comment and must not satisfy the checker.
+func Helper() int { return 1 }

@@ -1,0 +1,5 @@
+package pkgdoc
+
+// Other is a second file of the same package: the finding anchors only at
+// the first file in sorted order, so this clause stays clean.
+func Other() int { return Helper() + 1 }

@@ -89,3 +89,4 @@ func TestFloatEqTestdata(t *testing.T)    { runWantTest(t, "floateq") }
 func TestHotAllocTestdata(t *testing.T)   { runWantTest(t, "hotalloc") }
 func TestErrDropTestdata(t *testing.T)    { runWantTest(t, "errdrop") }
 func TestNolintTestdata(t *testing.T)     { runWantTest(t, "nolint") }
+func TestPkgDocTestdata(t *testing.T)     { runWantTest(t, "pkgdoc") }

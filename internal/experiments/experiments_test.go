@@ -221,7 +221,7 @@ func TestTrainingExperimentsRun(t *testing.T) {
 	}{
 		{Table2, 5},
 		{Table4, 6},
-		{Table7, 5},
+		{Table7, 6},
 		{Fig2a, 11},
 	}
 	if testing.Short() {
@@ -230,7 +230,7 @@ func TestTrainingExperimentsRun(t *testing.T) {
 		cases = []struct {
 			run  func(Options) Table
 			rows int
-		}{{Table7, 5}}
+		}{{Table7, 6}}
 	}
 	for _, c := range cases {
 		tab := c.run(o)

@@ -3,6 +3,7 @@ package fpga
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -266,5 +267,24 @@ func TestEstimateQuantizationSpeedsUp(t *testing.T) {
 	if w8.LatencyS >= w16.LatencyS {
 		t.Fatalf("8-bit design (%.2fms) must beat 16-bit (%.2fms)",
 			w8.LatencyS*1e3, w16.LatencyS*1e3)
+	}
+}
+
+// TestOperatingPointCouplesAccuracy checks that a measured IoU rides along
+// with the latency/resource estimate and shows up in the summary.
+func TestOperatingPointCouplesAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := backbone.SkyNetC(rng, backbone.Config{Width: 0.25, InC: 3, HeadChannels: 10, ReLU6: true})
+	x := tensor.New(1, 3, 32, 64)
+	x.RandUniform(rng, 0, 1)
+	g.Forward(x, false)
+	rep := Estimate(g, Ultra96, AutoConfig(Ultra96, 8, 8))
+	p := rep.WithAccuracy(0.512)
+	if p.IoU != 0.512 || p.FPS != rep.FPS {
+		t.Fatalf("operating point %+v lost fields of %+v", p, rep)
+	}
+	s := p.String()
+	if !strings.Contains(s, "IoU 0.512") || !strings.Contains(s, "W8/FM8") {
+		t.Fatalf("operating point summary %q missing accuracy or scheme", s)
 	}
 }

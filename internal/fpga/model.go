@@ -270,3 +270,24 @@ func (r Report) String() string {
 		r.Device.Name, r.IP.Tm, r.IP.Tn, r.IP.WBits, r.IP.FMBits,
 		r.LatencyS*1e3, r.FPS, r.GOPS, r.DSPUsed, r.Device.DSP, r.BRAMUsed, r.Device.BRAM18K)
 }
+
+// OperatingPoint couples a latency/resource estimate with the measured
+// accuracy of the number format it assumes — the full triple a deployment
+// decision ranks on. The estimator alone can only price a bit width in
+// DSPs and cycles; pairing it with a real measured IoU (e.g. from the int8
+// engine in internal/quant evaluated via detect.MeanIoU) closes the loop
+// the paper's Table 6/7 selection process describes.
+type OperatingPoint struct {
+	Report
+	IoU float64
+}
+
+// WithAccuracy attaches a measured validation IoU to the estimate.
+func (r Report) WithAccuracy(iou float64) OperatingPoint {
+	return OperatingPoint{Report: r, IoU: iou}
+}
+
+// String appends the measured accuracy to the estimate summary.
+func (p OperatingPoint) String() string {
+	return fmt.Sprintf("%s, IoU %.3f", p.Report.String(), p.IoU)
+}

@@ -1,0 +1,231 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"skynet/internal/backbone"
+	"skynet/internal/nn"
+	"skynet/internal/tensor"
+)
+
+func randBatch(rng *rand.Rand, n, c, h, w int) *tensor.Tensor {
+	x := tensor.New(n, c, h, w)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	return x
+}
+
+// exportSkyNet builds a width-scaled SkyNet C and lowers it on a random
+// calibration set.
+func exportSkyNet(t *testing.T, rng *rand.Rand, width float64, hw int, cfg ExportConfig) (*nn.Graph, *QuantizedModel, []*tensor.Tensor) {
+	t.Helper()
+	g := backbone.SkyNetC(rng, backbone.Config{Width: width, InC: 3, HeadChannels: 10, ReLU6: true})
+	calib := []*tensor.Tensor{randBatch(rng, 2, 3, hw, hw), randBatch(rng, 2, 3, hw, hw)}
+	qm, err := Export(g, calib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, qm, calib
+}
+
+// TestExportFusesSkyNet pins the lowering outcome on SkyNet C: every node
+// lowers to int8 (no float fallback) and each of the six bundles fuses its
+// PW-conv → BN → ReLU6 tail into one unit.
+func TestExportFusesSkyNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	_, qm, _ := exportSkyNet(t, rng, 0.25, 16, ExportConfig{})
+	int8Units, floatUnits, fused := qm.Stats()
+	if floatUnits != 0 {
+		t.Errorf("SkyNet C lowering left %d float-fallback units, want 0", floatUnits)
+	}
+	if fused != 12 {
+		t.Errorf("fused nodes = %d, want 12 (BN + act per bundle × 6)", fused)
+	}
+	// 6 DW + 6 fused PW units + 3 pools + reorg + concat + head conv.
+	if int8Units != 18 {
+		t.Errorf("int8 units = %d, want 18", int8Units)
+	}
+}
+
+// TestQuantizedForwardCloseToFloat bounds the int8 engine's end-to-end
+// numerical drift against the float graph on random (untrained) weights:
+// the normalized RMSE over the head tensor must stay small, or some scale
+// in the lowering is wired wrong.
+func TestQuantizedForwardCloseToFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, qm, _ := exportSkyNet(t, rng, 0.5, 16, ExportConfig{})
+	x := randBatch(rng, 2, 3, 16, 16)
+	want := g.Forward(x, false)
+	got := qm.Forward(x, false)
+	if got.Len() != want.Len() {
+		t.Fatalf("output length %d, want %d", got.Len(), want.Len())
+	}
+	var se, ref float64
+	for i := range want.Data {
+		d := float64(got.Data[i] - want.Data[i])
+		se += d * d
+		ref += float64(want.Data[i]) * float64(want.Data[i])
+	}
+	nrmse := math.Sqrt(se / (ref + 1e-12))
+	if nrmse > 0.15 {
+		t.Fatalf("normalized RMSE int8 vs float = %.4f, want <= 0.15", nrmse)
+	}
+	if nrmse != nrmse {
+		t.Fatal("quantized output contains NaN")
+	}
+}
+
+// TestQuantizedForwardDeterministic is the GOMAXPROCS 1-vs-8 bitwise
+// determinism contract for the quantized forward: integer accumulation is
+// exact and requantization elementwise, so the bytes must not depend on
+// the worker count. The 64×64 input makes the early GEMMs large enough to
+// actually cross the parallelism threshold.
+func TestQuantizedForwardDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large forward skipped in short mode")
+	}
+	rng := rand.New(rand.NewSource(4))
+	_, qm, _ := exportSkyNet(t, rng, 0.5, 64, ExportConfig{})
+	x := randBatch(rng, 2, 3, 64, 64)
+
+	oldPar := tensor.MaxParallelism
+	oldProcs := runtime.GOMAXPROCS(0)
+	defer func() {
+		tensor.MaxParallelism = oldPar
+		runtime.GOMAXPROCS(oldProcs)
+	}()
+
+	runtime.GOMAXPROCS(1)
+	tensor.MaxParallelism = 1
+	ref := append([]float32(nil), qm.Forward(x, false).Data...)
+
+	runtime.GOMAXPROCS(8)
+	tensor.MaxParallelism = 8
+	for run := 0; run < 3; run++ {
+		out := qm.Forward(x, false).Data
+		for i := range ref {
+			if out[i] != ref[i] {
+				t.Fatalf("run %d: output[%d] = %x differs from GOMAXPROCS=1 result %x",
+					run, i, math.Float32bits(out[i]), math.Float32bits(ref[i]))
+			}
+		}
+	}
+}
+
+// TestExportForceFloat checks the per-layer float fallback: forcing nodes
+// out of the int8 path must keep the model runnable and accurate.
+func TestExportForceFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := backbone.SkyNetC(rng, backbone.Config{Width: 0.25, InC: 3, HeadChannels: 10, ReLU6: true})
+	calib := []*tensor.Tensor{randBatch(rng, 2, 3, 16, 16)}
+	// Force the first two nodes (DW conv + PW conv) float; the PW conv's
+	// BN/act can then not fuse and must also survive as standalone units.
+	qm, err := Export(g, calib, ExportConfig{ForceFloat: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, floatUnits, _ := qm.Stats()
+	if floatUnits < 2 {
+		t.Fatalf("floatUnits = %d, want >= 2 (forced nodes)", floatUnits)
+	}
+	x := randBatch(rng, 1, 3, 16, 16)
+	want := g.Forward(x, false)
+	got := qm.Forward(x, false)
+	var maxAbs, maxDiff float64
+	for i := range want.Data {
+		if a := math.Abs(float64(want.Data[i])); a > maxAbs {
+			maxAbs = a
+		}
+		if d := math.Abs(float64(got.Data[i] - want.Data[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.25*maxAbs+1e-3 {
+		t.Fatalf("forced-float model drifted: max diff %v vs max magnitude %v", maxDiff, maxAbs)
+	}
+
+	if _, err := Export(g, calib, ExportConfig{ForceFloat: []int{len(g.Nodes)}}); err == nil {
+		t.Fatal("out-of-range ForceFloat index must error")
+	}
+}
+
+// TestExportFallbackLayer checks that a layer type the lowering does not
+// recognize runs as float fallback inside an otherwise-int8 graph.
+func TestExportFallbackLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := nn.NewGraph()
+	g.Add(nn.NewPWConv1(rng, 3, 8, false), nn.GraphInput)
+	g.Add(nn.NewGlobalAvgPool()) // not lowered: float fallback
+	calib := []*tensor.Tensor{randBatch(rng, 2, 3, 8, 8)}
+	qm, err := Export(g, calib, ExportConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8Units, floatUnits, _ := qm.Stats()
+	if int8Units != 1 || floatUnits != 1 {
+		t.Fatalf("units = (%d int8, %d float), want (1, 1)", int8Units, floatUnits)
+	}
+	x := randBatch(rng, 2, 3, 8, 8)
+	want := g.Forward(x, false)
+	got := qm.Forward(x, false)
+	for i := range want.Data {
+		if d := math.Abs(float64(got.Data[i] - want.Data[i])); d > 0.1*math.Abs(float64(want.Data[i]))+0.05 {
+			t.Fatalf("fallback output[%d] = %v, float %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestExportEmpty checks error paths.
+func TestExportEmpty(t *testing.T) {
+	if _, err := Export(nn.NewGraph(), nil, ExportConfig{}); err == nil {
+		t.Fatal("empty graph must error")
+	}
+	rng := rand.New(rand.NewSource(7))
+	g := nn.Sequential(nn.NewPWConv1(rng, 3, 4, false))
+	if _, err := Export(g, nil, ExportConfig{}); err == nil {
+		t.Fatal("empty calibration set must error")
+	}
+}
+
+// TestQuantizedSteadyStateAllocs pins the zero-allocation contract of the
+// engine after the first forward sized all internal buffers.
+func TestQuantizedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(8))
+	_, qm, _ := exportSkyNet(t, rng, 0.25, 16, ExportConfig{})
+	x := randBatch(rng, 1, 3, 16, 16)
+	oldPar := tensor.MaxParallelism
+	tensor.MaxParallelism = 1
+	defer func() { tensor.MaxParallelism = oldPar }()
+	qm.Forward(x, false) // size all buffers
+	if allocs := testing.AllocsPerRun(10, func() { qm.Forward(x, false) }); allocs > 0 {
+		t.Errorf("quantized forward steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestQuantizedPercentileCalibration exercises the percentile calibrator
+// end to end.
+func TestQuantizedPercentileCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, qm, _ := exportSkyNet(t, rng, 0.25, 16, ExportConfig{
+		Calib: CalibConfig{Method: CalibPercentile, Percentile: 99.9},
+	})
+	x := randBatch(rng, 1, 3, 16, 16)
+	want := g.Forward(x, false)
+	got := qm.Forward(x, false)
+	var se, ref float64
+	for i := range want.Data {
+		d := float64(got.Data[i] - want.Data[i])
+		se += d * d
+		ref += float64(want.Data[i]) * float64(want.Data[i])
+	}
+	if nrmse := math.Sqrt(se / (ref + 1e-12)); nrmse > 0.2 {
+		t.Fatalf("percentile-calibrated NRMSE = %.4f, want <= 0.2", nrmse)
+	}
+}

@@ -5,10 +5,15 @@
 // quantization study of Figure 2(a) (parameter compression vs feature-map
 // compression on an AlexNet-class model).
 //
-// Quantization is emulated in float32 ("fake quantization"): values are
-// rounded to the fixed-point grid and clamped to its range, which
-// reproduces the accuracy effect of the hardware number format while the
-// arithmetic stays in software.
+// Two execution modes are provided. The Table 7 schemes are emulated in
+// float32 ("fake quantization"): values are rounded to the fixed-point grid
+// and clamped to its range, which reproduces the accuracy effect of the
+// hardware number format while the arithmetic stays in software. The int8
+// deployment path is real fixed-point: Export lowers a trained graph into a
+// QuantizedModel that computes in int8×int8→int32 arithmetic (per-channel
+// weight scales, per-tensor activation scales from CalibrateActivations,
+// batch-norm folded into the pointwise-conv scales) on the packed integer
+// GEMM kernels in internal/tensor.
 package quant
 
 import (
@@ -27,26 +32,46 @@ type Quantizer struct {
 }
 
 // Calibrate returns a quantizer whose range covers the maximum absolute
-// value of data — the standard min-max symmetric calibration.
+// finite value of data — the standard min-max symmetric calibration.
+//
+// Degenerate calibration sets are defined to yield Scale == 1 rather than a
+// zero or non-finite scale that would poison downstream kernels: an empty
+// slice, an all-zero slice, and a slice containing only NaN/±Inf all
+// calibrate to Scale 1. NaN and ±Inf observations (sensor glitches, overflow
+// in a preceding layer) are skipped, so a single bad sample cannot blow up
+// the range for the rest of the data.
 func Calibrate(bits int, data []float32) Quantizer {
+	q := Quantizer{Bits: bits}
+	levels := float32(int64(1)<<(bits-1)) - 1
+	maxAbs := maxAbsFinite(data)
+	if maxAbs == 0 || levels <= 0 {
+		q.Scale = 1
+		return q
+	}
+	q.Scale = maxAbs / levels
+	if q.Scale == 0 || math.IsInf(float64(q.Scale), 0) {
+		// Subnormal underflow (maxAbs/levels rounds to 0) — fall back to the
+		// degenerate scale rather than divide by zero in Quantize.
+		q.Scale = 1
+	}
+	return q
+}
+
+// maxAbsFinite returns the largest finite |v| in data; NaN and ±Inf
+// observations are ignored (NaN fails every comparison, Inf fails the
+// MaxFloat32 bound).
+func maxAbsFinite(data []float32) float32 {
 	var maxAbs float32
 	for _, v := range data {
 		a := v
 		if a < 0 {
 			a = -a
 		}
-		if a > maxAbs {
+		if a > maxAbs && a <= math.MaxFloat32 {
 			maxAbs = a
 		}
 	}
-	q := Quantizer{Bits: bits}
-	levels := float32(int64(1)<<(bits-1)) - 1
-	if maxAbs == 0 || levels <= 0 {
-		q.Scale = 1
-		return q
-	}
-	q.Scale = maxAbs / levels
-	return q
+	return maxAbs
 }
 
 // MaxCode returns the largest positive code.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package quant
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// tests skip under -race because the instrumented runtime allocates and
+// sync.Pool deliberately drops a fraction of Puts.
+const raceEnabled = false

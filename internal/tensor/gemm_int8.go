@@ -1,0 +1,529 @@
+package tensor
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// This file implements the int8×int8→int32 GEMM that backs the fixed-point
+// inference path (§6.4.1 deployment quantization). The organization mirrors
+// the float32 kernel in gemm.go — BLIS-style packed panels, an MR×NR
+// register-tile micro-kernel, column-chunk parallelism over a persistent
+// worker pool — with two int8-specific differences:
+//
+//   - Operands are packed as int8 (4× less traffic than float32 panels) and
+//     accumulated in int32. Integer accumulation is exact, so results are
+//     bitwise identical for any blocking or worker split by construction.
+//   - The k dimension is not blocked. Int8 panels are a quarter the size of
+//     float panels, so a full-k NR-column panel of SkyNet's largest layer
+//     (k ≤ i8KC) still fits in L1, and keeping the whole dot product in one
+//     pass lets the requantize/dequantize epilogue fuse into the tile store
+//     instead of needing an int32 staging matrix. Calls with k > i8KC take
+//     the naive reference path, which is correct at any size.
+//
+// Three epilogues are exposed: raw int32 output (Int8GEMMInto), fused
+// requantize-to-int8 with per-row (output-channel) scales and clamp
+// (Int8GEMMRequantInto) — the steady-state layer-to-layer form — and fused
+// dequantize-to-float32 (Int8GEMMDequantInto) for the final layer feeding
+// the float detection head.
+const (
+	i8MR = 4    // micro-tile rows
+	i8NR = 4    // micro-tile cols
+	i8KC = 2048 // max unblocked k: a packed NR panel is i8KC*i8NR = 8 KiB
+	i8MC = 64   // m-dimension cache block
+	i8NC = 256  // n-dimension cache block (bounds scratch size)
+)
+
+// i8MinBlockedMACs is the problem size below which the naive kernels win:
+// for tiny operands the packing overhead is never amortized. A variable so
+// tests can force either path.
+var i8MinBlockedMACs = 1 << 13
+
+// i8ParallelMACs is the problem size below which a call runs on the calling
+// goroutine only.
+var i8ParallelMACs = 1 << 18
+
+// Int8Epilogue describes the fused requantization applied as an int32
+// accumulator tile is stored: for row i (the output channel of a lowered
+// convolution),
+//
+//	dst = clamp(roundToEven(float64(acc+Bias[i]) * Mult[i]), Lo, Hi)
+//
+// Bias is the layer bias (plus any folded batch-norm shift) expressed in
+// accumulator units; Mult is the per-channel combined scale
+// inScale·weightScale[i]/outScale. Lo/Hi fold the activation clamp (ReLU,
+// ReLU6) into the store. A nil Bias means zero.
+type Int8Epilogue struct {
+	Bias   []int32
+	Mult   []float32
+	Lo, Hi int8
+}
+
+// RequantizeRNE maps one int32 accumulator to an int8 code: round half to
+// even of acc·mult, clamped to [lo, hi]. Round-to-nearest-even is the IEEE
+// default and keeps requantization bias-free: round-half-up would push every
+// tie upward and drift activations positive layer over layer.
+//
+//skynet:hotpath
+func RequantizeRNE(acc int32, mult float32, lo, hi int8) int8 {
+	r := math.RoundToEven(float64(acc) * float64(mult))
+	if r < float64(lo) {
+		return lo
+	}
+	if r > float64(hi) {
+		return hi
+	}
+	return int8(r)
+}
+
+// i8Mode selects the epilogue of one int8 GEMM call.
+type i8Mode int
+
+const (
+	i8ModeInt32   i8Mode = iota // c32 = a·b
+	i8ModeRequant               // c8 = requantize(a·b + bias)
+	i8ModeDequant               // cf = float32(a·b + bias) · mult
+)
+
+// i8gemmCall fully describes one int8 GEMM invocation on raw row-major
+// slices: A is [m,k], B is [k,n], and exactly one of c32/c8/cf receives the
+// [m,n] result according to mode.
+type i8gemmCall struct {
+	a, b    []int8
+	c32     []int32
+	c8      []int8
+	cf      []float32
+	m, n, k int
+	mode    i8Mode
+	bias    []int32
+	mult    []float32
+	lo, hi  int8
+}
+
+// i8Scratch holds one worker's private packing buffers, allocated once at
+// the maximum block size so steady-state calls allocate nothing.
+type i8Scratch struct {
+	ap []int8 // packed A block: MC×KC, MR-row panels
+	bp []int8 // packed B block: KC×NC, NR-column panels
+}
+
+func newI8Scratch() *i8Scratch {
+	return &i8Scratch{
+		ap: make([]int8, i8MC*i8KC),
+		bp: make([]int8, i8KC*i8NC),
+	}
+}
+
+var i8ScratchPool = sync.Pool{New: func() any { return newI8Scratch() }}
+
+type i8gemm struct {
+	call i8gemmCall
+	wg   sync.WaitGroup
+}
+
+var i8GemmPool = sync.Pool{New: func() any { return new(i8gemm) }}
+
+type i8Job struct {
+	g      *i8gemm
+	j0, j1 int
+}
+
+var (
+	i8WorkersOnce sync.Once
+	i8Jobs        chan i8Job
+)
+
+// startI8Workers lazily spins up the persistent int8 worker pool, sized and
+// organized like the float pool (each worker owns its scratch for life).
+func startI8Workers() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	i8Jobs = make(chan i8Job, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			s := newI8Scratch()
+			for j := range i8Jobs {
+				j.g.call.run(j.j0, j.j1, s)
+				j.g.wg.Done()
+			}
+		}()
+	}
+}
+
+// i8WorkerCount decides how many column chunks to split a call into. It
+// honours the same MaxParallelism knob as the float path; integer
+// accumulation is exact, so the result never depends on the split.
+func i8WorkerCount(m, n, k int) int {
+	w := MaxParallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 || m*n*k < i8ParallelMACs {
+		return 1
+	}
+	if byN := n / i8NR; w > byN {
+		w = byN
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// i8UseNaive reports whether a call should take the naive reference path:
+// tiny problems (packing never amortized) and k beyond the unblocked panel
+// capacity.
+func i8UseNaive(m, n, k int) bool {
+	return m*n*k < i8MinBlockedMACs || k > i8KC
+}
+
+// i8Exec runs a call, splitting it across the worker pool when profitable.
+// The caller always executes the first chunk itself so progress never
+// depends on pool capacity.
+func i8Exec(c i8gemmCall) {
+	if i8UseNaive(c.m, c.n, c.k) {
+		c.runNaive()
+		return
+	}
+	w := i8WorkerCount(c.m, c.n, c.k)
+	if w <= 1 {
+		s := i8ScratchPool.Get().(*i8Scratch)
+		c.run(0, c.n, s)
+		i8ScratchPool.Put(s)
+		return
+	}
+	i8WorkersOnce.Do(startI8Workers)
+	g := i8GemmPool.Get().(*i8gemm)
+	g.call = c
+	chunk := (c.n + w - 1) / w
+	chunk = (chunk + i8NR - 1) / i8NR * i8NR
+	jobs := 0
+	for j0 := chunk; j0 < c.n; j0 += chunk {
+		jobs++
+	}
+	g.wg.Add(jobs)
+	for j0 := chunk; j0 < c.n; j0 += chunk {
+		i8Jobs <- i8Job{g: g, j0: j0, j1: min(j0+chunk, c.n)}
+	}
+	s := i8ScratchPool.Get().(*i8Scratch)
+	g.call.run(0, min(chunk, c.n), s)
+	i8ScratchPool.Put(s)
+	g.wg.Wait()
+	i8GemmPool.Put(g)
+}
+
+// Int8GEMMInto computes c = a·b for int8 A [m,k] and B [k,n], accumulating
+// exactly in int32. c must have length m·n.
+func Int8GEMMInto(c []int32, a, b []int8, m, n, k int) {
+	checkI8("Int8GEMMInto", len(c), len(a), len(b), m, n, k)
+	i8Exec(i8gemmCall{a: a, b: b, c32: c, m: m, n: n, k: k, mode: i8ModeInt32})
+}
+
+// Int8GEMMRequantInto computes dst = requantize(a·b) with the fused
+// per-row epilogue ep — the layer-to-layer form of quantized inference,
+// producing the next layer's int8 activations directly. dst must have
+// length m·n; ep.Mult must have length m.
+func Int8GEMMRequantInto(dst []int8, a, b []int8, m, n, k int, ep Int8Epilogue) {
+	checkI8("Int8GEMMRequantInto", len(dst), len(a), len(b), m, n, k)
+	checkI8Epilogue("Int8GEMMRequantInto", ep.Bias, ep.Mult, m)
+	i8Exec(i8gemmCall{a: a, b: b, c8: dst, m: m, n: n, k: k,
+		mode: i8ModeRequant, bias: ep.Bias, mult: ep.Mult, lo: ep.Lo, hi: ep.Hi})
+}
+
+// Int8GEMMDequantInto computes dst = float32(a·b + bias)·mult row-wise —
+// the final-layer epilogue that hands int8 inference back to the float
+// detection head. dst must have length m·n; mult length m; bias may be nil.
+func Int8GEMMDequantInto(dst []float32, a, b []int8, m, n, k int, bias []int32, mult []float32) {
+	checkI8("Int8GEMMDequantInto", len(dst), len(a), len(b), m, n, k)
+	checkI8Epilogue("Int8GEMMDequantInto", bias, mult, m)
+	i8Exec(i8gemmCall{a: a, b: b, cf: dst, m: m, n: n, k: k,
+		mode: i8ModeDequant, bias: bias, mult: mult})
+}
+
+func checkI8(name string, lc, la, lb, m, n, k int) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		panic("tensor: " + name + " requires positive dimensions")
+	}
+	if la < m*k || lb < k*n || lc < m*n {
+		panic("tensor: " + name + " operand lengths do not cover the given shape")
+	}
+}
+
+func checkI8Epilogue(name string, bias []int32, mult []float32, m int) {
+	if len(mult) < m {
+		panic("tensor: " + name + " needs one Mult per output row")
+	}
+	if bias != nil && len(bias) < m {
+		panic("tensor: " + name + " Bias shorter than m")
+	}
+}
+
+// runNaive is the unblocked reference: one exact int32 dot product per
+// output element, with the epilogue applied inline. It is the correctness
+// oracle for the blocked path and the fallback for shapes the blocked
+// kernel does not cover (k > i8KC, tiny problems).
+func (g *i8gemmCall) runNaive() {
+	for i := 0; i < g.m; i++ {
+		arow := g.a[i*g.k : (i+1)*g.k]
+		var bias int32
+		if g.bias != nil {
+			bias = g.bias[i]
+		}
+		for j := 0; j < g.n; j++ {
+			var acc int32
+			for p, av := range arow {
+				acc += int32(av) * int32(g.b[p*g.n+j])
+			}
+			switch g.mode {
+			case i8ModeInt32:
+				g.c32[i*g.n+j] = acc
+			case i8ModeRequant:
+				g.c8[i*g.n+j] = RequantizeRNE(acc+bias, g.mult[i], g.lo, g.hi)
+			case i8ModeDequant:
+				g.cf[i*g.n+j] = float32(float64(acc+bias) * float64(g.mult[i]))
+			}
+		}
+	}
+}
+
+// run executes the blocked loop nest over columns [j0, j1) of the output.
+// k is unblocked (k ≤ i8KC is guaranteed by i8UseNaive), so every tile is
+// complete when stored and the epilogue fuses into the store.
+//
+//skynet:hotpath
+func (g *i8gemmCall) run(j0, j1 int, s *i8Scratch) {
+	for jc := j0; jc < j1; jc += i8NC {
+		nc := min(i8NC, j1-jc)
+		g.packB(s.bp, jc, nc)
+		for ic := 0; ic < g.m; ic += i8MC {
+			mc := min(i8MC, g.m-ic)
+			g.packA(s.ap, ic, mc)
+			g.macroKernel(s, ic, mc, jc, nc)
+		}
+	}
+}
+
+// macroKernel sweeps the MR×NR micro-tiles of the current (ic, jc) block.
+//
+//skynet:hotpath
+func (g *i8gemmCall) macroKernel(s *i8Scratch, ic, mc, jc, nc int) {
+	var tile [i8MR * i8NR]int32
+	for jr := 0; jr < nc; jr += i8NR {
+		nr := min(i8NR, nc-jr)
+		bp := s.bp[(jr/i8NR)*g.k*i8NR:]
+		for ir := 0; ir < mc; ir += i8MR {
+			mr := min(i8MR, mc-ir)
+			ap := s.ap[(ir/i8MR)*g.k*i8MR:]
+			i8MicroKernel(g.k, ap, bp, &tile)
+			g.storeTile(&tile, ic+ir, jc+jr, mr, nr)
+		}
+	}
+}
+
+// i8MicroKernel computes one MR×NR int32 tile over the packed int8 panels:
+// ap holds kc groups of MR A-values, bp holds kc groups of NR B-values.
+// The 16 accumulators stay in registers; each k step performs MR·NR
+// multiply-adds against MR+NR one-byte loads — a quarter of the float
+// kernel's load traffic.
+//
+//skynet:hotpath
+func i8MicroKernel(kc int, ap, bp []int8, tile *[i8MR * i8NR]int32) {
+	var c00, c01, c02, c03 int32
+	var c10, c11, c12, c13 int32
+	var c20, c21, c22, c23 int32
+	var c30, c31, c32, c33 int32
+	p := 0
+	for ; p+2 <= kc; p += 2 {
+		a := ap[p*i8MR : p*i8MR+2*i8MR]
+		b := bp[p*i8NR : p*i8NR+2*i8NR]
+		a0, a1, a2, a3 := int32(a[0]), int32(a[1]), int32(a[2]), int32(a[3])
+		b0, b1, b2, b3 := int32(b[0]), int32(b[1]), int32(b[2]), int32(b[3])
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		a4, a5, a6, a7 := int32(a[4]), int32(a[5]), int32(a[6]), int32(a[7])
+		b4, b5, b6, b7 := int32(b[4]), int32(b[5]), int32(b[6]), int32(b[7])
+		c00 += a4 * b4
+		c01 += a4 * b5
+		c02 += a4 * b6
+		c03 += a4 * b7
+		c10 += a5 * b4
+		c11 += a5 * b5
+		c12 += a5 * b6
+		c13 += a5 * b7
+		c20 += a6 * b4
+		c21 += a6 * b5
+		c22 += a6 * b6
+		c23 += a6 * b7
+		c30 += a7 * b4
+		c31 += a7 * b5
+		c32 += a7 * b6
+		c33 += a7 * b7
+	}
+	for ; p < kc; p++ {
+		a := ap[p*i8MR : p*i8MR+i8MR]
+		b := bp[p*i8NR : p*i8NR+i8NR]
+		a0, a1, a2, a3 := int32(a[0]), int32(a[1]), int32(a[2]), int32(a[3])
+		b0, b1, b2, b3 := int32(b[0]), int32(b[1]), int32(b[2]), int32(b[3])
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	tile[0], tile[1], tile[2], tile[3] = c00, c01, c02, c03
+	tile[4], tile[5], tile[6], tile[7] = c10, c11, c12, c13
+	tile[8], tile[9], tile[10], tile[11] = c20, c21, c22, c23
+	tile[12], tile[13], tile[14], tile[15] = c30, c31, c32, c33
+}
+
+// storeTile writes a complete micro-tile through the call's epilogue,
+// clipping the zero-padded edge rows and columns.
+//
+//skynet:hotpath
+func (g *i8gemmCall) storeTile(tile *[i8MR * i8NR]int32, i0, j0, mr, nr int) {
+	for r := 0; r < mr; r++ {
+		trow := tile[r*i8NR : r*i8NR+nr]
+		var bias int32
+		if g.bias != nil {
+			bias = g.bias[i0+r]
+		}
+		switch g.mode {
+		case i8ModeInt32:
+			crow := g.c32[(i0+r)*g.n+j0 : (i0+r)*g.n+j0+nr]
+			for q, v := range trow {
+				crow[q] = v
+			}
+		case i8ModeRequant:
+			mult := g.mult[i0+r]
+			crow := g.c8[(i0+r)*g.n+j0 : (i0+r)*g.n+j0+nr]
+			for q, v := range trow {
+				crow[q] = RequantizeRNE(v+bias, mult, g.lo, g.hi)
+			}
+		case i8ModeDequant:
+			mult := float64(g.mult[i0+r])
+			crow := g.cf[(i0+r)*g.n+j0 : (i0+r)*g.n+j0+nr]
+			for q, v := range trow {
+				crow[q] = float32(float64(v+bias) * mult)
+			}
+		}
+	}
+}
+
+// packA copies A[ic:ic+mc, 0:k] into MR-row panels, zero-padded past mc.
+//
+//skynet:hotpath
+func (g *i8gemmCall) packA(dst []int8, ic, mc int) {
+	mcp := (mc + i8MR - 1) / i8MR * i8MR
+	for ir := 0; ir < mcp; ir += i8MR {
+		base := (ir / i8MR) * g.k * i8MR
+		for r := 0; r < i8MR; r++ {
+			if ir+r < mc {
+				arow := g.a[(ic+ir+r)*g.k:]
+				for p := 0; p < g.k; p++ {
+					dst[base+p*i8MR+r] = arow[p]
+				}
+			} else {
+				for p := 0; p < g.k; p++ {
+					dst[base+p*i8MR+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB copies B[0:k, jc:jc+nc] into NR-column panels, zero-padded past nc.
+//
+//skynet:hotpath
+func (g *i8gemmCall) packB(dst []int8, jc, nc int) {
+	ncp := (nc + i8NR - 1) / i8NR * i8NR
+	for jr := 0; jr < ncp; jr += i8NR {
+		di := (jr / i8NR) * g.k * i8NR
+		lim := nc - jr
+		if lim > i8NR {
+			lim = i8NR
+		}
+		for p := 0; p < g.k; p++ {
+			src := g.b[p*g.n+jc+jr:]
+			for q := 0; q < lim; q++ {
+				dst[di+q] = src[q]
+			}
+			for q := lim; q < i8NR; q++ {
+				dst[di+q] = 0
+			}
+			di += i8NR
+		}
+	}
+}
+
+// Int8Im2Col lowers one int8 image of shape [c,h,w] into a [c*kh*kw,
+// outH*outW] matrix so quantized convolution becomes a single int8 GEMM
+// with the [outC, c*kh*kw] weight matrix. Padding positions contribute the
+// symmetric zero point (0). col must have capacity for the full matrix;
+// the caller reuses one buffer across a batch.
+func Int8Im2Col(col, img []int8, c, h, w, kh, kw, stride, pad int) {
+	outH := ConvOut(h, kh, stride, pad)
+	outW := ConvOut(w, kw, stride, pad)
+	cols := outH * outW
+	if len(img) < c*h*w || len(col) < c*kh*kw*cols {
+		panic("tensor: Int8Im2Col operand lengths do not cover the given shape")
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				dst := col[row*cols : (row+1)*cols]
+				di := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							dst[di] = 0
+						} else {
+							dst[di] = img[rowBase+ix]
+						}
+						di++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// quantBenchShapes are the SkyNet layer GEMM shapes used by the float
+// benchmark, so `make bench-quant` compares like with like: m = output
+// channels, k = InC·kh·kw, n = outH·outW.
+var quantBenchShapes = []struct{ m, k, n int }{
+	{96, 432, 512},
+	{48, 27, 2560},
+	{96, 48, 1280},
+	{256, 256, 256},
+}
+
+func benchInt8Shape(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a8 := randI8(rng, m*k)
+	b8 := randI8(rng, k*n)
+	dst := make([]int8, m*n)
+	ep := Int8Epilogue{Bias: make([]int32, m), Mult: make([]float32, m), Lo: 0, Hi: 127}
+	for i := range ep.Mult {
+		ep.Mult[i] = 0.004
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Int8GEMMRequantInto(dst, a8, b8, m, n, k, ep)
+	}
+	ops := 2 * float64(m) * float64(k) * float64(n)
+	b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GOPS")
+	// Operand + result traffic per call: one byte per element on the int8
+	// path versus four on the float path. This is the memory-movement side
+	// of the embedded win (the other being wider effective SIMD on hardware
+	// with byte lanes).
+	b.ReportMetric(float64(m*k+k*n+m*n), "opbytes/op")
+}
+
+// BenchmarkInt8GEMMShapes measures the fused requantizing int8 kernel at
+// SkyNet layer shapes. Compare against BenchmarkFloatGEMMShapes (same
+// shapes, float32 path) via `make bench-quant`.
+func BenchmarkInt8GEMMShapes(b *testing.B) {
+	for _, s := range quantBenchShapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			benchInt8Shape(b, s.m, s.k, s.n)
+		})
+	}
+}
+
+// BenchmarkFloatGEMMShapes is the float32 baseline for `make bench-quant`,
+// reporting the same GOPS and operand-byte metrics as the int8 benchmark.
+func BenchmarkFloatGEMMShapes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range quantBenchShapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := randMat(rng, s.m, s.k)
+			bb := randMat(rng, s.k, s.n)
+			c := New(s.m, s.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(c, a, bb)
+			}
+			ops := 2 * float64(s.m) * float64(s.k) * float64(s.n)
+			b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GOPS")
+			b.ReportMetric(4*float64(s.m*s.k+s.k*s.n+s.m*s.n), "opbytes/op")
+		})
+	}
+}

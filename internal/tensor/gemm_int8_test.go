@@ -1,0 +1,335 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func forceI8Blocked(fn func()) {
+	old := i8MinBlockedMACs
+	i8MinBlockedMACs = 0
+	defer func() { i8MinBlockedMACs = old }()
+	fn()
+}
+
+func randI8(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = int8(rng.Intn(255) - 127) // [-127, 127]
+	}
+	return s
+}
+
+// refInt8GEMM is an independent triple-loop oracle (int64 accumulation to
+// rule out any int32 aliasing mistakes in the kernel under test; results
+// must still fit int32 for valid inputs).
+func refInt8GEMM(a, b []int8, m, n, k int) []int32 {
+	c := make([]int32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for p := 0; p < k; p++ {
+				acc += int64(a[i*k+p]) * int64(b[p*n+j])
+			}
+			c[i*n+j] = int32(acc)
+		}
+	}
+	return c
+}
+
+// i8Sizes straddles the MR=NR=4 micro-tile and the MC=64/NC=256 block
+// boundaries, plus unit dims.
+var i8Sizes = []int{1, 3, 4, 5, 17, 64, 65, 257}
+
+// TestInt8GEMMGoldenVsNaive checks the blocked packed kernel against the
+// independent reference over shapes covering every edge-padding case.
+func TestInt8GEMMGoldenVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	forceI8Blocked(func() {
+		for _, m := range i8Sizes {
+			for _, n := range i8Sizes {
+				for _, k := range []int{1, 5, 48, 131} {
+					a := randI8(rng, m*k)
+					b := randI8(rng, k*n)
+					got := make([]int32, m*n)
+					Int8GEMMInto(got, a, b, m, n, k)
+					want := refInt8GEMM(a, b, m, n, k)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("m=%d n=%d k=%d: c[%d] = %d, want %d", m, n, k, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestInt8GEMMLongK covers the k > i8KC fallback, which the blocked kernel
+// does not handle (k is unblocked by design).
+func TestInt8GEMMLongK(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, n, k := 3, 5, i8KC+17
+	a := randI8(rng, m*k)
+	b := randI8(rng, k*n)
+	got := make([]int32, m*n)
+	Int8GEMMInto(got, a, b, m, n, k)
+	want := refInt8GEMM(a, b, m, n, k)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("c[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRequantizeRNE pins round-half-to-even semantics and clamping of the
+// requantize epilogue.
+func TestRequantizeRNE(t *testing.T) {
+	cases := []struct {
+		acc    int32
+		mult   float32
+		lo, hi int8
+		want   int8
+	}{
+		{5, 0.5, -127, 127, 2},    // 2.5 rounds to even 2, not 3
+		{7, 0.5, -127, 127, 4},    // 3.5 rounds to even 4
+		{-5, 0.5, -127, 127, -2},  // -2.5 rounds to even -2
+		{-7, 0.5, -127, 127, -4},  // -3.5 rounds to even -4
+		{3, 0.5, -127, 127, 2},    // 1.5 -> 2
+		{1, 0.5, -127, 127, 0},    // 0.5 -> 0
+		{1000, 1, -127, 127, 127}, // clamp hi
+		{-1000, 1, -127, 127, -127},
+		{100, 1, 0, 127, 100},
+		{-100, 1, 0, 127, 0}, // fused ReLU clamps negatives to 0
+		{90, 1, 0, 75, 75},   // fused ReLU6 cap in code units
+		{0, 0.3, -127, 127, 0},
+	}
+	for _, c := range cases {
+		if got := RequantizeRNE(c.acc, c.mult, c.lo, c.hi); got != c.want {
+			t.Errorf("RequantizeRNE(%d, %v, %d, %d) = %d, want %d", c.acc, c.mult, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// TestInt8GEMMRequantGolden checks the fused requantize epilogue against
+// requantizing the reference int32 result elementwise, on both the blocked
+// and naive paths.
+func TestInt8GEMMRequantGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, blocked := range []bool{false, true} {
+		run := func(fn func()) { fn() }
+		if blocked {
+			run = forceI8Blocked
+		}
+		run(func() {
+			for _, s := range []struct{ m, n, k int }{{5, 7, 9}, {48, 130, 27}, {64, 256, 64}} {
+				a := randI8(rng, s.m*s.k)
+				b := randI8(rng, s.k*s.n)
+				ep := Int8Epilogue{Bias: make([]int32, s.m), Mult: make([]float32, s.m), Lo: 0, Hi: 113}
+				for i := range ep.Mult {
+					ep.Bias[i] = int32(rng.Intn(2001) - 1000)
+					ep.Mult[i] = float32(rng.Float64()*0.01 + 1e-4)
+				}
+				got := make([]int8, s.m*s.n)
+				Int8GEMMRequantInto(got, a, b, s.m, s.n, s.k, ep)
+				ref := refInt8GEMM(a, b, s.m, s.n, s.k)
+				for i := 0; i < s.m; i++ {
+					for j := 0; j < s.n; j++ {
+						want := RequantizeRNE(ref[i*s.n+j]+ep.Bias[i], ep.Mult[i], ep.Lo, ep.Hi)
+						if g := got[i*s.n+j]; g != want {
+							t.Fatalf("blocked=%v m=%d n=%d k=%d: dst[%d,%d] = %d, want %d",
+								blocked, s.m, s.n, s.k, i, j, g, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInt8GEMMDequantGolden checks the dequantize-to-float32 epilogue.
+func TestInt8GEMMDequantGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	forceI8Blocked(func() {
+		m, n, k := 10, 130, 96
+		a := randI8(rng, m*k)
+		b := randI8(rng, k*n)
+		bias := make([]int32, m)
+		mult := make([]float32, m)
+		for i := range mult {
+			bias[i] = int32(rng.Intn(201) - 100)
+			mult[i] = float32(rng.Float64() * 0.02)
+		}
+		got := make([]float32, m*n)
+		Int8GEMMDequantInto(got, a, b, m, n, k, bias, mult)
+		ref := refInt8GEMM(a, b, m, n, k)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want := float32(float64(ref[i*n+j]+bias[i]) * float64(mult[i]))
+				if g := got[i*n+j]; g != want {
+					t.Fatalf("dst[%d,%d] = %v, want %v", i, j, g, want)
+				}
+			}
+		}
+	})
+}
+
+// TestInt8GEMMParallelDeterminism verifies the split across workers is
+// bitwise invariant: int32 accumulation is exact and the requantize
+// epilogue is elementwise, so any worker count must produce identical
+// bytes.
+func TestInt8GEMMParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, n, k := 96, 1280, 48
+	a := randI8(rng, m*k)
+	b := randI8(rng, k*n)
+	ep := Int8Epilogue{Mult: make([]float32, m), Lo: -127, Hi: 127}
+	for i := range ep.Mult {
+		ep.Mult[i] = float32(rng.Float64() * 0.01)
+	}
+	oldPar, oldParMACs := MaxParallelism, i8ParallelMACs
+	i8ParallelMACs = 0
+	defer func() { MaxParallelism, i8ParallelMACs = oldPar, oldParMACs }()
+
+	MaxParallelism = 1
+	ref32 := make([]int32, m*n)
+	ref8 := make([]int8, m*n)
+	Int8GEMMInto(ref32, a, b, m, n, k)
+	Int8GEMMRequantInto(ref8, a, b, m, n, k, ep)
+	for _, w := range []int{2, 3, 8} {
+		MaxParallelism = w
+		got32 := make([]int32, m*n)
+		got8 := make([]int8, m*n)
+		Int8GEMMInto(got32, a, b, m, n, k)
+		Int8GEMMRequantInto(got8, a, b, m, n, k, ep)
+		for i := range ref32 {
+			if got32[i] != ref32[i] || got8[i] != ref8[i] {
+				t.Fatalf("workers=%d: element %d differs from serial result", w, i)
+			}
+		}
+	}
+}
+
+// TestInt8GEMMSteadyStateAllocs pins the zero-allocation contract of the
+// serial blocked int8 kernel.
+func TestInt8GEMMSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector, so alloc counts are not meaningful")
+	}
+	oldPar := MaxParallelism
+	MaxParallelism = 1
+	defer func() { MaxParallelism = oldPar }()
+	rng := rand.New(rand.NewSource(12))
+	m, n, k := 48, 640, 27
+	a := randI8(rng, m*k)
+	b := randI8(rng, k*n)
+	dst := make([]int8, m*n)
+	ep := Int8Epilogue{Mult: make([]float32, m), Lo: -127, Hi: 127}
+	for i := range ep.Mult {
+		ep.Mult[i] = 0.01
+	}
+	forceI8Blocked(func() {
+		Int8GEMMRequantInto(dst, a, b, m, n, k, ep) // warm the scratch pool
+		if allocs := testing.AllocsPerRun(20, func() {
+			Int8GEMMRequantInto(dst, a, b, m, n, k, ep)
+		}); allocs != 0 {
+			t.Errorf("Int8GEMMRequantInto steady state: %v allocs/op, want 0", allocs)
+		}
+	})
+}
+
+// TestInt8Im2Col checks the int8 lowering against the float Im2Col on the
+// same values.
+func TestInt8Im2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, cfg := range []struct{ c, h, w, kh, kw, stride, pad int }{
+		{3, 8, 8, 3, 3, 1, 1},
+		{2, 7, 5, 3, 3, 2, 1},
+		{1, 4, 4, 1, 1, 1, 0},
+		{4, 6, 6, 2, 2, 2, 0},
+	} {
+		img8 := randI8(rng, cfg.c*cfg.h*cfg.w)
+		imgF := New(cfg.c, cfg.h, cfg.w)
+		for i, v := range img8 {
+			imgF.Data[i] = float32(v)
+		}
+		outH := ConvOut(cfg.h, cfg.kh, cfg.stride, cfg.pad)
+		outW := ConvOut(cfg.w, cfg.kw, cfg.stride, cfg.pad)
+		rows, cols := cfg.c*cfg.kh*cfg.kw, outH*outW
+		col8 := make([]int8, rows*cols)
+		Int8Im2Col(col8, img8, cfg.c, cfg.h, cfg.w, cfg.kh, cfg.kw, cfg.stride, cfg.pad)
+		colF := New(rows, cols)
+		Im2Col(colF, imgF, cfg.kh, cfg.kw, cfg.stride, cfg.pad)
+		for i := range col8 {
+			if float32(col8[i]) != colF.Data[i] {
+				t.Fatalf("%+v: col[%d] = %d, want %v", cfg, i, col8[i], colF.Data[i])
+			}
+		}
+	}
+}
+
+// TestInt8GEMMShapePanics checks argument validation of all three entry
+// points.
+func TestInt8GEMMShapePanics(t *testing.T) {
+	a, b := make([]int8, 6), make([]int8, 6)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"short-c", func() { Int8GEMMInto(make([]int32, 3), a, b, 2, 2, 3) }},
+		{"zero-dim", func() { Int8GEMMInto(make([]int32, 4), a, b, 2, 2, 0) }},
+		{"short-mult", func() {
+			Int8GEMMRequantInto(make([]int8, 4), a, b, 2, 2, 3, Int8Epilogue{Mult: make([]float32, 1)})
+		}},
+		{"short-bias", func() {
+			Int8GEMMDequantInto(make([]float32, 4), a, b, 2, 2, 3, make([]int32, 1), make([]float32, 2))
+		}},
+		{"im2col-short", func() { Int8Im2Col(make([]int8, 3), make([]int8, 16), 1, 4, 4, 3, 3, 1, 1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+// TestRequantizeRNEMatchesMath cross-checks the fast path against a direct
+// math.RoundToEven formulation over a dense sweep.
+func TestRequantizeRNEMatchesMath(t *testing.T) {
+	for acc := int32(-3000); acc <= 3000; acc += 7 {
+		for _, mult := range []float32{0.001, 0.25, 0.5, 1.0 / 3.0} {
+			want := math.RoundToEven(float64(acc) * float64(mult))
+			if want > 127 {
+				want = 127
+			}
+			if want < -127 {
+				want = -127
+			}
+			if got := RequantizeRNE(acc, mult, -127, 127); int(got) != int(want) {
+				t.Fatalf("RequantizeRNE(%d, %v) = %d, want %v", acc, mult, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkInt8VsFloatGEMM is referenced by `make bench-quant`; keep a
+// smoke test that the bench bodies run.
+func TestInt8BenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke skipped in short mode")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		benchInt8Shape(b, 48, 27, 64)
+	})
+	if res.N < 1 {
+		t.Fatal("int8 bench did not run")
+	}
+	runtime.KeepAlive(fmt.Sprintf("%v", res))
+}
