@@ -5,7 +5,7 @@ GO ?= go
 COVER_FLOOR ?= 60
 COVER_PKGS  ?= ./internal/serve ./internal/pipeline ./internal/detect ./internal/quant
 
-.PHONY: all build binaries vet lint test short race bench bench-quant cover check ci
+.PHONY: all build binaries vet lint test short race purego arm64 bench bench-quant bench-json cover check ci
 
 all: ci
 
@@ -45,14 +45,37 @@ short:
 race:
 	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/... ./internal/serve/...
 
+# purego runs the kernel-bearing packages with the assembly micro-kernels
+# compiled out, so the portable fallback (and its dispatch seam) cannot
+# rot. The same tests run again with SKYNET_KERNEL=purego on a normal
+# build to cover the runtime-selection path.
+purego:
+	$(GO) test -tags purego ./internal/tensor ./internal/cpufeat
+	SKYNET_KERNEL=purego $(GO) test ./internal/tensor ./internal/cpufeat
+
+# arm64 cross-compiles the whole tree for the other deployment
+# architecture: the build tags on the amd64 assembly must keep every
+# package buildable without it.
+arm64:
+	GOARCH=arm64 $(GO) build ./...
+
 bench:
+	@$(GO) run ./cmd/skynet-bench -which
 	$(GO) test -run xxx -bench 'BenchmarkMatMul|BenchmarkConvForwardSteadyState|BenchmarkTable2Backbones' -benchtime 10x .
 
 # bench-quant compares the int8 GEMM kernels against float32 at SkyNet
 # layer shapes; both report GOPS and operand bytes/op (the int8 path moves
 # 4x fewer bytes), and -benchmem surfaces the zero-allocation contract.
 bench-quant:
+	@$(GO) run ./cmd/skynet-bench -which
 	$(GO) test -run xxx -bench 'BenchmarkInt8GEMMShapes|BenchmarkFloatGEMMShapes' -benchmem ./internal/tensor
+
+# bench-json regenerates BENCH_gemm.json, the committed machine-readable
+# GFLOPS trajectory: every kernel (purego + available asm) at SkyNet GEMM
+# shapes, serial, with allocation counts. Commit the diff when kernels
+# change so the trajectory stays honest.
+bench-json:
+	$(GO) run ./cmd/skynet-bench -out BENCH_gemm.json
 
 # cover measures statement coverage on the serving-critical packages and
 # fails if any of them drops below COVER_FLOOR percent.
@@ -70,7 +93,7 @@ cover:
 
 # ci is the single verification entry point: everything must pass before a
 # commit lands.
-ci: vet lint test race build binaries
+ci: vet lint test race purego arm64 build binaries
 
 # check is kept as an alias for ci (the historical name).
 check: ci

@@ -1,0 +1,203 @@
+// Command skynet-bench records the GEMM performance trajectory as JSON.
+//
+// It runs the float32 and int8 blocked GEMMs (and a representative conv
+// forward) at SkyNet layer shapes under each requested micro-kernel and
+// writes one machine-readable record per (bench, shape, kernel), so PRs
+// that touch the kernels can diff GFLOPS against the committed baseline
+// in BENCH_gemm.json.
+//
+// Usage:
+//
+//	skynet-bench                       # all available kernels, print JSON
+//	skynet-bench -out BENCH_gemm.json  # write the committed baseline
+//	skynet-bench -kernels purego       # restrict kernel set
+//	skynet-bench -which                # print dispatched kernels and exit
+//
+// Runs are serial (MaxParallelism=1): the trajectory tracks kernel
+// throughput, not worker-pool scaling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"skynet/internal/cpufeat"
+	"skynet/internal/nn"
+	"skynet/internal/tensor"
+)
+
+// gemmShapes are the SkyNet layer shapes used by `make bench` and
+// `make bench-quant`: m = output channels, k = InC·kh·kw, n = outH·outW,
+// plus one square control.
+var gemmShapes = []struct{ m, k, n int }{
+	{96, 432, 512},
+	{48, 27, 2560},
+	{96, 48, 1280},
+	{256, 256, 256},
+}
+
+// Record is one benchmark measurement. GFLOPS counts 2·m·k·n per GEMM
+// call (MACs on the int8 path, where it is conventionally GOPS).
+type Record struct {
+	Bench  string  `json:"bench"`  // float32gemm | int8gemm | conv3x3
+	Shape  string  `json:"shape"`  // m x k x n (conv: inC->outC @HxW)
+	Kernel string  `json:"kernel"` // purego | avx2 | avx2fma
+	NsOp   int64   `json:"ns_op"`
+	GFLOPS float64 `json:"gflops"`
+	Allocs int64   `json:"allocs_op"`
+}
+
+// Baseline is the file format of BENCH_gemm.json.
+type Baseline struct {
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	AVX2        bool     `json:"cpu_avx2"`
+	FMA         bool     `json:"cpu_fma"`
+	Parallelism int      `json:"max_parallelism"`
+	Records     []Record `json:"records"`
+}
+
+func gflops(m, k, n int, r testing.BenchmarkResult) float64 {
+	per := 2 * float64(m) * float64(k) * float64(n)
+	return per * float64(r.N) / r.T.Seconds() / 1e9
+}
+
+func benchFloat(m, k, n int) Record {
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.New(m, k)
+	a.RandNormal(rng, 0, 1)
+	b := tensor.New(k, n)
+	b.RandNormal(rng, 0, 1)
+	c := tensor.New(m, n)
+	r := testing.Benchmark(func(b2 *testing.B) {
+		b2.ReportAllocs()
+		for i := 0; i < b2.N; i++ {
+			tensor.MatMulInto(c, a, b)
+		}
+	})
+	return Record{Bench: "float32gemm", Shape: fmt.Sprintf("%dx%dx%d", m, k, n),
+		Kernel: tensor.KernelName(), NsOp: r.NsPerOp(), GFLOPS: gflops(m, k, n, r), Allocs: r.AllocsPerOp()}
+}
+
+func benchInt8(m, k, n int) Record {
+	rng := rand.New(rand.NewSource(1))
+	a := randI8(rng, m*k)
+	b := randI8(rng, k*n)
+	dst := make([]int8, m*n)
+	ep := tensor.Int8Epilogue{Bias: make([]int32, m), Mult: make([]float32, m), Lo: 0, Hi: 127}
+	for i := range ep.Mult {
+		ep.Mult[i] = 0.004
+	}
+	r := testing.Benchmark(func(b2 *testing.B) {
+		b2.ReportAllocs()
+		for i := 0; i < b2.N; i++ {
+			tensor.Int8GEMMRequantInto(dst, a, b, m, n, k, ep)
+		}
+	})
+	return Record{Bench: "int8gemm", Shape: fmt.Sprintf("%dx%dx%d", m, k, n),
+		Kernel: tensor.Int8KernelName(), NsOp: r.NsPerOp(), GFLOPS: gflops(m, k, n, r), Allocs: r.AllocsPerOp()}
+}
+
+// benchConv measures a SkyNet-representative 3×3 conv forward (48→96
+// channels on a 40×80 map), which lowers onto the float GEMM via im2col —
+// the end-to-end view of the kernel swap.
+func benchConv() Record {
+	const inC, outC, kk, h, w = 48, 96, 3, 40, 80
+	rng := rand.New(rand.NewSource(1))
+	l := nn.NewConv2D(rng, inC, outC, kk, 1, 1, true)
+	x := tensor.New(1, inC, h, w)
+	x.RandNormal(rng, 0, 1)
+	xs := []*tensor.Tensor{x}
+	r := testing.Benchmark(func(b2 *testing.B) {
+		b2.ReportAllocs()
+		for i := 0; i < b2.N; i++ {
+			l.Forward(xs, false)
+		}
+	})
+	per := 2 * float64(outC) * float64(inC*kk*kk) * float64(h*w)
+	return Record{Bench: "conv3x3", Shape: fmt.Sprintf("%d->%d@%dx%d", inC, outC, h, w),
+		Kernel: tensor.KernelName(), NsOp: r.NsPerOp(),
+		GFLOPS: per * float64(r.N) / r.T.Seconds() / 1e9, Allocs: r.AllocsPerOp()}
+}
+
+func randI8(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = int8(rng.Intn(255) - 127)
+	}
+	return s
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "", "write JSON here instead of stdout")
+		kernels = flag.String("kernels", "", "comma-separated kernel names to run (default: purego plus every available asm kernel)")
+		which   = flag.Bool("which", false, "print the dispatched kernel names and exit")
+	)
+	flag.Parse()
+
+	if *which {
+		fmt.Printf("float32 kernel: %s\nint8 kernel:    %s\n", tensor.KernelName(), tensor.Int8KernelName())
+		return
+	}
+
+	var names []string
+	if *kernels != "" {
+		names = strings.Split(*kernels, ",")
+	} else {
+		names = []string{"purego"}
+		for _, k := range []string{"avx2", "avx2fma"} {
+			if tensor.HasKernel(k) {
+				names = append(names, k)
+			}
+		}
+	}
+
+	oldPar := tensor.MaxParallelism
+	tensor.MaxParallelism = 1
+	defer func() { tensor.MaxParallelism = oldPar }()
+
+	base := Baseline{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		AVX2: cpufeat.AVX2, FMA: cpufeat.FMA, Parallelism: 1}
+	for _, name := range names {
+		if err := tensor.SetKernel(name); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# kernel=%s (float32=%s int8=%s)\n", name, tensor.KernelName(), tensor.Int8KernelName())
+		for _, s := range gemmShapes {
+			rec := benchFloat(s.m, s.k, s.n)
+			fmt.Fprintf(os.Stderr, "#   %-12s %-12s %8.2f GFLOPS  %d allocs/op\n", rec.Bench, rec.Shape, rec.GFLOPS, rec.Allocs)
+			base.Records = append(base.Records, rec)
+		}
+		for _, s := range gemmShapes {
+			rec := benchInt8(s.m, s.k, s.n)
+			fmt.Fprintf(os.Stderr, "#   %-12s %-12s %8.2f GOPS    %d allocs/op\n", rec.Bench, rec.Shape, rec.GFLOPS, rec.Allocs)
+			base.Records = append(base.Records, rec)
+		}
+		rec := benchConv()
+		fmt.Fprintf(os.Stderr, "#   %-12s %-12s %8.2f GFLOPS  %d allocs/op\n", rec.Bench, rec.Shape, rec.GFLOPS, rec.Allocs)
+		base.Records = append(base.Records, rec)
+	}
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -36,7 +36,15 @@ func runHotAlloc(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isHotpath(fd) {
+			if !ok || !isHotpath(fd) {
+				continue
+			}
+			if fd.Body == nil {
+				// Assembly-backed declaration (the GEMM micro-kernels in
+				// internal/tensor). The annotation is documentation here —
+				// hand-written assembly cannot touch the Go heap — and the
+				// contract is enforced on these paths by the package's
+				// AllocsPerRun tests, so there is nothing to inspect.
 				continue
 			}
 			checkHotBody(p, fd)

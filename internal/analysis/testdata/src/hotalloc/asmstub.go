@@ -1,0 +1,29 @@
+package hotalloc
+
+// Assembly-backed declarations: //skynet:hotpath on a body-less func is
+// documentation (hand-written assembly cannot touch the Go heap), and the
+// checker must pass over it without a finding — there is no body to
+// inspect. Mirrors the GEMM micro-kernel stubs in internal/tensor.
+
+// HotAsm computes a 4-wide tile step; implemented in asmstub_amd64.s.
+//
+//go:noescape
+//skynet:hotpath
+func HotAsm(kc int, ap, bp *float64, tile *[16]float64)
+
+// HotAsmCaller is the Go-side adapter: annotated and WITH a body, so the
+// checker inspects it as usual.
+//
+//skynet:hotpath
+func HotAsmCaller(kc int, ap, bp []float64, tile *[16]float64) {
+	HotAsm(kc, &ap[0], &bp[0], tile)
+}
+
+// HotAsmCallerBad shows the adapter is still policed: wrapping an asm stub
+// does not waive the allocation rules.
+//
+//skynet:hotpath
+func HotAsmCallerBad(kc int, tile *[16]float64) {
+	ap := make([]float64, 4*kc) // want `\[hotalloc\] make allocates in hotpath function HotAsmCallerBad`
+	HotAsm(kc, &ap[0], &ap[0], tile)
+}

@@ -1,0 +1,9 @@
+package pkgdoc
+
+// AsmStub mirrors an assembly-backed file: body-less declarations must not
+// trip the checker, and their declaration comments — like any other
+// non-package comment — must not satisfy the package-doc requirement. The
+// finding stays anchored at a.go, the first file in sorted order.
+//
+//go:noescape
+func AsmStub(kc int, ap *float64)

@@ -1,0 +1,44 @@
+//go:build amd64 && !purego
+
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+// Implemented in cpufeat_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0), which reports which
+// register states the OS saves on context switch. Only valid when CPUID
+// leaf 1 sets the OSXSAVE bit. Implemented in cpufeat_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+// CPUID leaf 1 ECX and leaf 7 EBX feature bits consulted by detect.
+const (
+	leaf1FMA     = 1 << 12 // ECX: fused multiply-add
+	leaf1OSXSAVE = 1 << 27 // ECX: OS has enabled XGETBV
+	leaf1AVX     = 1 << 28 // ECX: AVX (YMM registers)
+	leaf7AVX2    = 1 << 5  // EBX: AVX2 (256-bit integer ops)
+
+	// XCR0 bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be set before YMM
+	// registers survive a context switch.
+	xcr0YMM = 0x6
+)
+
+// detect interrogates the hardware. AVX2 requires the CPUID feature bit,
+// AVX, and OS support for saving YMM state: a hypervisor or minimal OS can
+// expose the CPU bit while clobbering the registers on every interrupt, so
+// checking CPUID alone is not safe.
+func detect() (avx2, fma bool) {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false, false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&leaf1OSXSAVE == 0 || c1&leaf1AVX == 0 {
+		return false, false
+	}
+	if lo, _ := xgetbv(); lo&xcr0YMM != xcr0YMM {
+		return false, false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&leaf7AVX2 != 0, c1&leaf1FMA != 0
+}

@@ -1,0 +1,24 @@
+package cpufeat
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDetectStable pins the basic contract: detection ran at init, is
+// idempotent, and FMA-without-YMM-support cannot be reported alongside a
+// false AVX2 on a host whose first detection said otherwise.
+func TestDetectStable(t *testing.T) {
+	a2, fma := detect()
+	if a2 != AVX2 || fma != FMA {
+		t.Fatalf("detect() = (%v, %v), init recorded (%v, %v)", a2, fma, AVX2, FMA)
+	}
+	// Run it a few more times: CPUID is a pure function of the hardware.
+	for i := 0; i < 3; i++ {
+		b2, bf := detect()
+		if b2 != a2 || bf != fma {
+			t.Fatalf("detect() not idempotent: run %d gave (%v, %v), want (%v, %v)", i, b2, bf, a2, fma)
+		}
+	}
+	t.Logf("GOARCH=%s AVX2=%v FMA=%v", runtime.GOARCH, AVX2, FMA)
+}

@@ -115,9 +115,6 @@ func TestConvGradientsParallel(t *testing.T) {
 // the serial conv forward: with output reuse on and all scratch warm, a
 // Forward call must not touch the heap.
 func TestConv2DForwardSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race-detector instrumentation allocates; counts are only meaningful without -race")
-	}
 	oldReuse := ReuseOutputs
 	ReuseOutputs = true
 	defer func() { ReuseOutputs = oldReuse }()

@@ -194,9 +194,6 @@ func TestExportEmpty(t *testing.T) {
 // TestQuantizedSteadyStateAllocs pins the zero-allocation contract of the
 // engine after the first forward sized all internal buffers.
 func TestQuantizedSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("alloc counts are not meaningful under the race detector")
-	}
 	rng := rand.New(rand.NewSource(8))
 	_, qm, _ := exportSkyNet(t, rng, 0.25, 16, ExportConfig{})
 	x := randBatch(rng, 1, 3, 16, 16)

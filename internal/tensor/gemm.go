@@ -29,9 +29,16 @@ import (
 // read-only inputs. Because the k-summation order of every C element is
 // identical regardless of the split, results are bitwise-independent of the
 // worker count.
+//
+// The micro-kernel itself is dispatched through the gemmMicro function
+// variable (kernel.go): AVX2 assembly where the CPU has it, the pure-Go
+// reference below otherwise. NR is 8 so one tile row is exactly one YMM
+// register of float32 lanes; both implementations consume the same packed
+// panel layout and the same strict k-order per element, so swapping them
+// never changes a single output bit.
 const (
 	gemmMR = 4   // micro-tile rows (accumulator block height)
-	gemmNR = 4   // micro-tile cols (accumulator block width)
+	gemmNR = 8   // micro-tile cols (one 8-lane YMM vector per tile row)
 	gemmKC = 256 // k-dimension cache block (packed panels stay L1-resident)
 	gemmMC = 64  // m-dimension cache block (A block, L2)
 	gemmNC = 512 // n-dimension cache block (B block, bounds scratch size)
@@ -47,10 +54,17 @@ var gemmMinBlockedMACs = 1 << 13
 // win regardless of total problem size: the micro-kernel's advantage comes
 // from long packed dot products (B-panel reuse across MR rows), and with a
 // short k the per-call packing plus tile load/store overhead is never
-// amortized. Measured crossover on the benchmark host is k ≈ 48 (SkyNet's
-// scaled pointwise convs, k ≤ 48, run ~1.2–1.5× faster naive; k ≥ 64 shapes
-// favor the blocked path). A variable so tests can force either path.
-var gemmMinBlockedK = 48
+// amortized. The crossover depends on the dispatched micro-kernel, so
+// SetKernel keeps this in sync: the pure-Go kernel needs k ≈ 48 to beat the
+// naive loops (SkyNet's scaled pointwise convs, k ≤ 48, run ~1.2–1.5×
+// faster naive), while the AVX2 kernel wins from k ≈ 4 up (measured ~1.4×
+// at k=4, ~4× at k=27). A variable so tests can force either path.
+var gemmMinBlockedK = gemmMinBlockedKPure
+
+const (
+	gemmMinBlockedKPure = 48
+	gemmMinBlockedKAsm  = 4
+)
 
 // gemmUseNaive decides whether a call takes the naive reference kernels
 // instead of the blocked path.
@@ -86,6 +100,13 @@ type gemmCall struct {
 type gemmScratch struct {
 	ap []float32 // packed A block: MC×KC, MR-row panels
 	bp []float32 // packed B block: KC×NC, NR-column panels
+
+	// tile is the micro-kernel accumulator block. It lives in the scratch
+	// rather than on macroKernel's stack because its address is passed
+	// through the gemmMicro function variable: escape analysis cannot see
+	// through an indirect call, so a stack tile would heap-allocate on
+	// every macro-kernel invocation.
+	tile [gemmMR * gemmNR]float32
 }
 
 func newGemmScratch() *gemmScratch {
@@ -95,7 +116,39 @@ func newGemmScratch() *gemmScratch {
 	}
 }
 
-var gemmScratchPool = sync.Pool{New: func() any { return newGemmScratch() }}
+// freeList hands out persistent buffers like sync.Pool but with
+// deterministic reuse: the race-detector runtime makes sync.Pool drop a
+// random fraction of Puts, which broke the zero-allocation contract tests
+// under -race. An uncontended mutex costs a few nanoseconds per GEMM call
+// (amortized over at least gemmMinBlockedMACs multiply-adds) and every
+// returned buffer is reused, instrumented or not. Pool workers never touch
+// the list — each owns its scratch for its whole lifetime — so the list
+// only serves the calling goroutine's chunk.
+type freeList[T any] struct {
+	mu    sync.Mutex
+	items []*T
+	alloc func() *T
+}
+
+func (l *freeList[T]) get() *T {
+	l.mu.Lock()
+	if n := len(l.items); n > 0 {
+		x := l.items[n-1]
+		l.items = l.items[:n-1]
+		l.mu.Unlock()
+		return x
+	}
+	l.mu.Unlock()
+	return l.alloc()
+}
+
+func (l *freeList[T]) put(x *T) {
+	l.mu.Lock()
+	l.items = append(l.items, x)
+	l.mu.Unlock()
+}
+
+var gemmScratchFree = freeList[gemmScratch]{alloc: newGemmScratch}
 
 // gemm wraps a call with the completion group used by the worker pool.
 type gemm struct {
@@ -103,7 +156,7 @@ type gemm struct {
 	wg   sync.WaitGroup
 }
 
-var gemmPool = sync.Pool{New: func() any { return new(gemm) }}
+var gemmFree = freeList[gemm]{alloc: func() *gemm { return new(gemm) }}
 
 type gemmJob struct {
 	g      *gemm
@@ -128,8 +181,17 @@ func startGemmWorkers() {
 	gemmJobs = make(chan gemmJob, 4*n)
 	for i := 0; i < n; i++ {
 		go func() {
-			s := newGemmScratch()
+			// Scratch is allocated on the first job, not at goroutine
+			// start: a worker that is spawned but never scheduled before
+			// the pool goes idle would otherwise perform its allocation at
+			// some arbitrary later point — observed as a flake in the
+			// AllocsPerRun tests when the leftover allocation landed inside
+			// their measurement window.
+			var s *gemmScratch
 			for j := range gemmJobs {
+				if s == nil {
+					s = newGemmScratch()
+				}
 				j.g.call.run(j.j0, j.j1, s)
 				j.g.wg.Done()
 			}
@@ -164,13 +226,13 @@ func gemmWorkerCount(m, n, k int) int {
 func gemmExec(c gemmCall) {
 	w := gemmWorkerCount(c.m, c.n, c.k)
 	if w <= 1 {
-		s := gemmScratchPool.Get().(*gemmScratch)
+		s := gemmScratchFree.get()
 		c.run(0, c.n, s)
-		gemmScratchPool.Put(s)
+		gemmScratchFree.put(s)
 		return
 	}
 	gemmWorkersOnce.Do(startGemmWorkers)
-	g := gemmPool.Get().(*gemm)
+	g := gemmFree.get()
 	g.call = c
 	chunk := (c.n + w - 1) / w
 	chunk = (chunk + gemmNR - 1) / gemmNR * gemmNR
@@ -182,11 +244,11 @@ func gemmExec(c gemmCall) {
 	for j0 := chunk; j0 < c.n; j0 += chunk {
 		gemmJobs <- gemmJob{g: g, j0: j0, j1: min(j0+chunk, c.n)}
 	}
-	s := gemmScratchPool.Get().(*gemmScratch)
+	s := gemmScratchFree.get()
 	g.call.run(0, min(chunk, c.n), s)
-	gemmScratchPool.Put(s)
+	gemmScratchFree.put(s)
 	g.wg.Wait()
-	gemmPool.Put(g)
+	gemmFree.put(g)
 }
 
 // run executes the blocked loop nest over columns [j0, j1) of C.
@@ -213,133 +275,80 @@ func (g *gemmCall) run(j0, j1 int, s *gemmScratch) {
 //
 //skynet:hotpath
 func (g *gemmCall) macroKernel(s *gemmScratch, ic, mc, jc, nc, kc int, overwrite, bias bool) {
-	var tile [gemmMR * gemmNR]float32
+	tile := &s.tile
 	for jr := 0; jr < nc; jr += gemmNR {
 		nr := min(gemmNR, nc-jr)
 		bp := s.bp[(jr/gemmNR)*kc*gemmNR:]
 		for ir := 0; ir < mc; ir += gemmMR {
 			mr := min(gemmMR, mc-ir)
 			ap := s.ap[(ir/gemmMR)*kc*gemmMR:]
-			microKernel(kc, ap, bp, &tile)
-			g.storeTile(&tile, ic+ir, jc+jr, mr, nr, overwrite, bias)
+			gemmMicro(kc, ap, bp, tile)
+			g.storeTile(tile, ic+ir, jc+jr, mr, nr, overwrite, bias)
 		}
 	}
 }
 
-// microKernel computes one MR×NR tile product over the packed panels: ap
-// holds kc rows of MR A-values, bp holds kc rows of NR B-values. The MR·NR
-// accumulators are few enough to stay in registers; each k iteration
-// performs MR·NR multiply-adds against MR+NR loads.
+// microKernelRef computes one MR×NR tile product over the packed panels:
+// ap holds kc rows of MR A-values, bp holds kc rows of NR B-values. It is
+// the portable implementation behind the gemmMicro dispatch seam and the
+// bitwise oracle for the AVX2 kernel: per k step each accumulator performs
+// one multiply and one add, each individually rounded, exactly as the
+// assembly's VMULPS/VADDPS pair does — and in the same strict k order. Do
+// not restructure the arithmetic into a*b+c forms a compiler could fuse.
 //
 //skynet:hotpath
-func microKernel(kc int, ap, bp []float32, tile *[gemmMR * gemmNR]float32) {
-	var c00, c01, c02, c03 float32
-	var c10, c11, c12, c13 float32
-	var c20, c21, c22, c23 float32
-	var c30, c31, c32, c33 float32
-	p := 0
-	for ; p+4 <= kc; p += 4 {
-		a := ap[p*gemmMR : p*gemmMR+4*gemmMR]
-		b := bp[p*gemmNR : p*gemmNR+4*gemmNR]
-		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
-		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c02 += a0 * b2
-		c03 += a0 * b3
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c12 += a1 * b2
-		c13 += a1 * b3
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c22 += a2 * b2
-		c23 += a2 * b3
-		c30 += a3 * b0
-		c31 += a3 * b1
-		c32 += a3 * b2
-		c33 += a3 * b3
-		a4, a5, a6, a7 := a[4], a[5], a[6], a[7]
-		b4, b5, b6, b7 := b[4], b[5], b[6], b[7]
-		c00 += a4 * b4
-		c01 += a4 * b5
-		c02 += a4 * b6
-		c03 += a4 * b7
-		c10 += a5 * b4
-		c11 += a5 * b5
-		c12 += a5 * b6
-		c13 += a5 * b7
-		c20 += a6 * b4
-		c21 += a6 * b5
-		c22 += a6 * b6
-		c23 += a6 * b7
-		c30 += a7 * b4
-		c31 += a7 * b5
-		c32 += a7 * b6
-		c33 += a7 * b7
-		a8, a9, a10, a11 := a[8], a[9], a[10], a[11]
-		b8, b9, b10, b11 := b[8], b[9], b[10], b[11]
-		c00 += a8 * b8
-		c01 += a8 * b9
-		c02 += a8 * b10
-		c03 += a8 * b11
-		c10 += a9 * b8
-		c11 += a9 * b9
-		c12 += a9 * b10
-		c13 += a9 * b11
-		c20 += a10 * b8
-		c21 += a10 * b9
-		c22 += a10 * b10
-		c23 += a10 * b11
-		c30 += a11 * b8
-		c31 += a11 * b9
-		c32 += a11 * b10
-		c33 += a11 * b11
-		a12, a13, a14, a15 := a[12], a[13], a[14], a[15]
-		b12, b13, b14, b15 := b[12], b[13], b[14], b[15]
-		c00 += a12 * b12
-		c01 += a12 * b13
-		c02 += a12 * b14
-		c03 += a12 * b15
-		c10 += a13 * b12
-		c11 += a13 * b13
-		c12 += a13 * b14
-		c13 += a13 * b15
-		c20 += a14 * b12
-		c21 += a14 * b13
-		c22 += a14 * b14
-		c23 += a14 * b15
-		c30 += a15 * b12
-		c31 += a15 * b13
-		c32 += a15 * b14
-		c33 += a15 * b15
-	}
-	for ; p < kc; p++ {
+func microKernelRef(kc int, ap, bp []float32, tile *[gemmMR * gemmNR]float32) {
+	var c00, c01, c02, c03, c04, c05, c06, c07 float32
+	var c10, c11, c12, c13, c14, c15, c16, c17 float32
+	var c20, c21, c22, c23, c24, c25, c26, c27 float32
+	var c30, c31, c32, c33, c34, c35, c36, c37 float32
+	for p := 0; p < kc; p++ {
 		a := ap[p*gemmMR : p*gemmMR+gemmMR]
 		b := bp[p*gemmNR : p*gemmNR+gemmNR]
 		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
 		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		b4, b5, b6, b7 := b[4], b[5], b[6], b[7]
 		c00 += a0 * b0
 		c01 += a0 * b1
 		c02 += a0 * b2
 		c03 += a0 * b3
+		c04 += a0 * b4
+		c05 += a0 * b5
+		c06 += a0 * b6
+		c07 += a0 * b7
 		c10 += a1 * b0
 		c11 += a1 * b1
 		c12 += a1 * b2
 		c13 += a1 * b3
+		c14 += a1 * b4
+		c15 += a1 * b5
+		c16 += a1 * b6
+		c17 += a1 * b7
 		c20 += a2 * b0
 		c21 += a2 * b1
 		c22 += a2 * b2
 		c23 += a2 * b3
+		c24 += a2 * b4
+		c25 += a2 * b5
+		c26 += a2 * b6
+		c27 += a2 * b7
 		c30 += a3 * b0
 		c31 += a3 * b1
 		c32 += a3 * b2
 		c33 += a3 * b3
+		c34 += a3 * b4
+		c35 += a3 * b5
+		c36 += a3 * b6
+		c37 += a3 * b7
 	}
 	tile[0], tile[1], tile[2], tile[3] = c00, c01, c02, c03
-	tile[4], tile[5], tile[6], tile[7] = c10, c11, c12, c13
-	tile[8], tile[9], tile[10], tile[11] = c20, c21, c22, c23
-	tile[12], tile[13], tile[14], tile[15] = c30, c31, c32, c33
+	tile[4], tile[5], tile[6], tile[7] = c04, c05, c06, c07
+	tile[8], tile[9], tile[10], tile[11] = c10, c11, c12, c13
+	tile[12], tile[13], tile[14], tile[15] = c14, c15, c16, c17
+	tile[16], tile[17], tile[18], tile[19] = c20, c21, c22, c23
+	tile[20], tile[21], tile[22], tile[23] = c24, c25, c26, c27
+	tile[24], tile[25], tile[26], tile[27] = c30, c31, c32, c33
+	tile[28], tile[29], tile[30], tile[31] = c34, c35, c36, c37
 }
 
 // storeTile writes a micro-tile into C, clipping the zero-padded edge rows

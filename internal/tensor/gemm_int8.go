@@ -1,7 +1,6 @@
 package tensor
 
 import (
-	"math"
 	"runtime"
 	"sync"
 )
@@ -27,10 +26,19 @@ import (
 // (Int8GEMMRequantInto) — the steady-state layer-to-layer form — and fused
 // dequantize-to-float32 (Int8GEMMDequantInto) for the final layer feeding
 // the float detection head.
+// The micro-kernel is dispatched through the i8Micro function variable
+// (kernel.go): AVX2 assembly where available, the pure-Go reference below
+// otherwise. Both consume panels packed in k-PAIRS — for each pair of
+// consecutive k indices the packer interleaves the two values of every
+// row/column ([a(i,p) a(i,p+1)] per row, [b(p,j) b(p+1,j)] per column,
+// zero-padded when k is odd) — which is exactly the operand order of the
+// AVX2 16-bit dot-product idiom (VPMOVSXBW + VPMADDWD accumulates two k
+// steps per instruction). Integer accumulation is exact, so the pure-Go
+// and assembly kernels are bitwise identical by construction.
 const (
 	i8MR = 4    // micro-tile rows
-	i8NR = 4    // micro-tile cols
-	i8KC = 2048 // max unblocked k: a packed NR panel is i8KC*i8NR = 8 KiB
+	i8NR = 8    // micro-tile cols (one 8-lane YMM vector of int32 per row)
+	i8KC = 2048 // max unblocked k: a packed NR panel is i8KC*i8NR = 16 KiB
 	i8MC = 64   // m-dimension cache block
 	i8NC = 256  // n-dimension cache block (bounds scratch size)
 )
@@ -60,21 +68,43 @@ type Int8Epilogue struct {
 	Lo, Hi int8
 }
 
+// rneMagic shifts a float64 so its ulp is exactly 1: adding and subtracting
+// it rounds to the nearest integer under the FPU's default round-to-nearest-
+// even, in two adds instead of math.RoundToEven's bit tests. Valid for
+// |x| ≤ 2⁵¹ (beyond that the sum's ulp exceeds 1); RequantizeRNE clamps
+// such values before they reach the trick.
+const rneMagic = 1<<52 + 1<<51
+
 // RequantizeRNE maps one int32 accumulator to an int8 code: round half to
 // even of acc·mult, clamped to [lo, hi]. Round-to-nearest-even is the IEEE
 // default and keeps requantization bias-free: round-half-up would push every
 // tie upward and drift activations positive layer over layer.
 //
+// This is the inner loop of the requantize epilogue — with the AVX2 GEMM
+// kernel it dominates quantized inference, hence the magic-constant
+// rounding (bitwise identical to math.RoundToEven on the clamped range).
+//
 //skynet:hotpath
 func RequantizeRNE(acc int32, mult float32, lo, hi int8) int8 {
-	r := math.RoundToEven(float64(acc) * float64(mult))
-	if r < float64(lo) {
+	x := float64(acc) * float64(mult)
+	if x >= 1<<51 {
+		return hi // rounds to ≥ 2⁵¹−1, far above any int8 hi
+	}
+	if x <= -(1 << 51) {
 		return lo
 	}
-	if r > float64(hi) {
-		return hi
+	// The rounded value is exactly integral and within int64 range here, so
+	// clamping can move to the integer domain, where the compiler lowers
+	// both bounds to CMOV — the clamp outcome is data-dependent (ReLU cuts
+	// roughly half the accumulators), so branches would mispredict badly.
+	ri := int64((x + rneMagic) - rneMagic)
+	if ri < int64(lo) {
+		ri = int64(lo)
 	}
-	return int8(r)
+	if ri > int64(hi) {
+		ri = int64(hi)
+	}
+	return int8(ri)
 }
 
 // i8Mode selects the epilogue of one int8 GEMM call.
@@ -102,10 +132,17 @@ type i8gemmCall struct {
 }
 
 // i8Scratch holds one worker's private packing buffers, allocated once at
-// the maximum block size so steady-state calls allocate nothing.
+// the maximum block size so steady-state calls allocate nothing. Pair
+// packing pads k up to even, and 2·⌈k/2⌉ ≤ i8KC for every accepted k
+// (i8KC is even), so the pre-pairing sizes still bound the panels.
 type i8Scratch struct {
-	ap []int8 // packed A block: MC×KC, MR-row panels
-	bp []int8 // packed B block: KC×NC, NR-column panels
+	ap []int8 // packed A block: MC×KC, MR-row panels, k-pair interleaved
+	bp []int8 // packed B block: KC×NC, NR-column panels, k-pair interleaved
+
+	// tile lives here, not on macroKernel's stack, because its address is
+	// passed through the i8Micro function variable and an indirect call
+	// defeats escape analysis (see gemmScratch.tile).
+	tile [i8MR * i8NR]int32
 }
 
 func newI8Scratch() *i8Scratch {
@@ -115,14 +152,18 @@ func newI8Scratch() *i8Scratch {
 	}
 }
 
-var i8ScratchPool = sync.Pool{New: func() any { return newI8Scratch() }}
+// Scratch and call descriptors come from deterministic free lists, not
+// sync.Pool, for the same reason as the float path: the race-detector
+// runtime drops random sync.Pool Puts, which would break the
+// zero-allocation contract under -race (see freeList in gemm.go).
+var i8ScratchFree = freeList[i8Scratch]{alloc: newI8Scratch}
 
 type i8gemm struct {
 	call i8gemmCall
 	wg   sync.WaitGroup
 }
 
-var i8GemmPool = sync.Pool{New: func() any { return new(i8gemm) }}
+var i8GemmFree = freeList[i8gemm]{alloc: func() *i8gemm { return new(i8gemm) }}
 
 type i8Job struct {
 	g      *i8gemm
@@ -144,8 +185,15 @@ func startI8Workers() {
 	i8Jobs = make(chan i8Job, 4*n)
 	for i := 0; i < n; i++ {
 		go func() {
-			s := newI8Scratch()
+			// Lazily allocated on the first job — see the matching comment
+			// in startGemmWorkers: allocating at goroutine start lets a
+			// never-yet-scheduled worker's allocation land inside a later
+			// AllocsPerRun measurement window.
+			var s *i8Scratch
 			for j := range i8Jobs {
+				if s == nil {
+					s = newI8Scratch()
+				}
 				j.g.call.run(j.j0, j.j1, s)
 				j.g.wg.Done()
 			}
@@ -190,13 +238,13 @@ func i8Exec(c i8gemmCall) {
 	}
 	w := i8WorkerCount(c.m, c.n, c.k)
 	if w <= 1 {
-		s := i8ScratchPool.Get().(*i8Scratch)
+		s := i8ScratchFree.get()
 		c.run(0, c.n, s)
-		i8ScratchPool.Put(s)
+		i8ScratchFree.put(s)
 		return
 	}
 	i8WorkersOnce.Do(startI8Workers)
-	g := i8GemmPool.Get().(*i8gemm)
+	g := i8GemmFree.get()
 	g.call = c
 	chunk := (c.n + w - 1) / w
 	chunk = (chunk + i8NR - 1) / i8NR * i8NR
@@ -208,11 +256,11 @@ func i8Exec(c i8gemmCall) {
 	for j0 := chunk; j0 < c.n; j0 += chunk {
 		i8Jobs <- i8Job{g: g, j0: j0, j1: min(j0+chunk, c.n)}
 	}
-	s := i8ScratchPool.Get().(*i8Scratch)
+	s := i8ScratchFree.get()
 	g.call.run(0, min(chunk, c.n), s)
-	i8ScratchPool.Put(s)
+	i8ScratchFree.put(s)
 	g.wg.Wait()
-	i8GemmPool.Put(g)
+	i8GemmFree.put(g)
 }
 
 // Int8GEMMInto computes c = a·b for int8 A [m,k] and B [k,n], accumulating
@@ -307,101 +355,95 @@ func (g *i8gemmCall) run(j0, j1 int, s *i8Scratch) {
 }
 
 // macroKernel sweeps the MR×NR micro-tiles of the current (ic, jc) block.
+// Panels are pair-packed, so strides and trip counts run over kp = ⌈k/2⌉
+// pairs rather than k scalars.
 //
 //skynet:hotpath
 func (g *i8gemmCall) macroKernel(s *i8Scratch, ic, mc, jc, nc int) {
-	var tile [i8MR * i8NR]int32
+	kp := (g.k + 1) / 2
+	tile := &s.tile
 	for jr := 0; jr < nc; jr += i8NR {
 		nr := min(i8NR, nc-jr)
-		bp := s.bp[(jr/i8NR)*g.k*i8NR:]
+		bp := s.bp[(jr/i8NR)*kp*2*i8NR:]
 		for ir := 0; ir < mc; ir += i8MR {
 			mr := min(i8MR, mc-ir)
-			ap := s.ap[(ir/i8MR)*g.k*i8MR:]
-			i8MicroKernel(g.k, ap, bp, &tile)
-			g.storeTile(&tile, ic+ir, jc+jr, mr, nr)
+			ap := s.ap[(ir/i8MR)*kp*2*i8MR:]
+			i8Micro(kp, ap, bp, tile)
+			g.storeTile(tile, ic+ir, jc+jr, mr, nr)
 		}
 	}
 }
 
-// i8MicroKernel computes one MR×NR int32 tile over the packed int8 panels:
-// ap holds kc groups of MR A-values, bp holds kc groups of NR B-values.
-// The 16 accumulators stay in registers; each k step performs MR·NR
-// multiply-adds against MR+NR one-byte loads — a quarter of the float
-// kernel's load traffic.
+// i8MicroKernelRef computes one MR×NR int32 tile over the pair-packed
+// int8 panels: ap holds kp groups of 2·MR A-values ([a(i,p) a(i,p+1)] per
+// row), bp holds kp groups of 2·NR B-values ([b(p,j) b(p+1,j)] per
+// column). It is the portable implementation behind the i8Micro dispatch
+// seam and mirrors the AVX2 VPMADDWD step: two k contributions per
+// accumulator update. All arithmetic is exact int32, so the result is
+// identical to any other evaluation order.
 //
 //skynet:hotpath
-func i8MicroKernel(kc int, ap, bp []int8, tile *[i8MR * i8NR]int32) {
-	var c00, c01, c02, c03 int32
-	var c10, c11, c12, c13 int32
-	var c20, c21, c22, c23 int32
-	var c30, c31, c32, c33 int32
-	p := 0
-	for ; p+2 <= kc; p += 2 {
-		a := ap[p*i8MR : p*i8MR+2*i8MR]
-		b := bp[p*i8NR : p*i8NR+2*i8NR]
-		a0, a1, a2, a3 := int32(a[0]), int32(a[1]), int32(a[2]), int32(a[3])
-		b0, b1, b2, b3 := int32(b[0]), int32(b[1]), int32(b[2]), int32(b[3])
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c02 += a0 * b2
-		c03 += a0 * b3
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c12 += a1 * b2
-		c13 += a1 * b3
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c22 += a2 * b2
-		c23 += a2 * b3
-		c30 += a3 * b0
-		c31 += a3 * b1
-		c32 += a3 * b2
-		c33 += a3 * b3
-		a4, a5, a6, a7 := int32(a[4]), int32(a[5]), int32(a[6]), int32(a[7])
-		b4, b5, b6, b7 := int32(b[4]), int32(b[5]), int32(b[6]), int32(b[7])
-		c00 += a4 * b4
-		c01 += a4 * b5
-		c02 += a4 * b6
-		c03 += a4 * b7
-		c10 += a5 * b4
-		c11 += a5 * b5
-		c12 += a5 * b6
-		c13 += a5 * b7
-		c20 += a6 * b4
-		c21 += a6 * b5
-		c22 += a6 * b6
-		c23 += a6 * b7
-		c30 += a7 * b4
-		c31 += a7 * b5
-		c32 += a7 * b6
-		c33 += a7 * b7
-	}
-	for ; p < kc; p++ {
-		a := ap[p*i8MR : p*i8MR+i8MR]
-		b := bp[p*i8NR : p*i8NR+i8NR]
-		a0, a1, a2, a3 := int32(a[0]), int32(a[1]), int32(a[2]), int32(a[3])
-		b0, b1, b2, b3 := int32(b[0]), int32(b[1]), int32(b[2]), int32(b[3])
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c02 += a0 * b2
-		c03 += a0 * b3
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c12 += a1 * b2
-		c13 += a1 * b3
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c22 += a2 * b2
-		c23 += a2 * b3
-		c30 += a3 * b0
-		c31 += a3 * b1
-		c32 += a3 * b2
-		c33 += a3 * b3
+func i8MicroKernelRef(kp int, ap, bp []int8, tile *[i8MR * i8NR]int32) {
+	var c00, c01, c02, c03, c04, c05, c06, c07 int32
+	var c10, c11, c12, c13, c14, c15, c16, c17 int32
+	var c20, c21, c22, c23, c24, c25, c26, c27 int32
+	var c30, c31, c32, c33, c34, c35, c36, c37 int32
+	for t := 0; t < kp; t++ {
+		a := ap[t*2*i8MR : t*2*i8MR+2*i8MR]
+		b := bp[t*2*i8NR : t*2*i8NR+2*i8NR]
+		b00, b01 := int32(b[0]), int32(b[1])
+		b10, b11 := int32(b[2]), int32(b[3])
+		b20, b21 := int32(b[4]), int32(b[5])
+		b30, b31 := int32(b[6]), int32(b[7])
+		b40, b41 := int32(b[8]), int32(b[9])
+		b50, b51 := int32(b[10]), int32(b[11])
+		b60, b61 := int32(b[12]), int32(b[13])
+		b70, b71 := int32(b[14]), int32(b[15])
+		a0, a1 := int32(a[0]), int32(a[1])
+		c00 += a0*b00 + a1*b01
+		c01 += a0*b10 + a1*b11
+		c02 += a0*b20 + a1*b21
+		c03 += a0*b30 + a1*b31
+		c04 += a0*b40 + a1*b41
+		c05 += a0*b50 + a1*b51
+		c06 += a0*b60 + a1*b61
+		c07 += a0*b70 + a1*b71
+		a0, a1 = int32(a[2]), int32(a[3])
+		c10 += a0*b00 + a1*b01
+		c11 += a0*b10 + a1*b11
+		c12 += a0*b20 + a1*b21
+		c13 += a0*b30 + a1*b31
+		c14 += a0*b40 + a1*b41
+		c15 += a0*b50 + a1*b51
+		c16 += a0*b60 + a1*b61
+		c17 += a0*b70 + a1*b71
+		a0, a1 = int32(a[4]), int32(a[5])
+		c20 += a0*b00 + a1*b01
+		c21 += a0*b10 + a1*b11
+		c22 += a0*b20 + a1*b21
+		c23 += a0*b30 + a1*b31
+		c24 += a0*b40 + a1*b41
+		c25 += a0*b50 + a1*b51
+		c26 += a0*b60 + a1*b61
+		c27 += a0*b70 + a1*b71
+		a0, a1 = int32(a[6]), int32(a[7])
+		c30 += a0*b00 + a1*b01
+		c31 += a0*b10 + a1*b11
+		c32 += a0*b20 + a1*b21
+		c33 += a0*b30 + a1*b31
+		c34 += a0*b40 + a1*b41
+		c35 += a0*b50 + a1*b51
+		c36 += a0*b60 + a1*b61
+		c37 += a0*b70 + a1*b71
 	}
 	tile[0], tile[1], tile[2], tile[3] = c00, c01, c02, c03
-	tile[4], tile[5], tile[6], tile[7] = c10, c11, c12, c13
-	tile[8], tile[9], tile[10], tile[11] = c20, c21, c22, c23
-	tile[12], tile[13], tile[14], tile[15] = c30, c31, c32, c33
+	tile[4], tile[5], tile[6], tile[7] = c04, c05, c06, c07
+	tile[8], tile[9], tile[10], tile[11] = c10, c11, c12, c13
+	tile[12], tile[13], tile[14], tile[15] = c14, c15, c16, c17
+	tile[16], tile[17], tile[18], tile[19] = c20, c21, c22, c23
+	tile[20], tile[21], tile[22], tile[23] = c24, c25, c26, c27
+	tile[24], tile[25], tile[26], tile[27] = c30, c31, c32, c33
+	tile[28], tile[29], tile[30], tile[31] = c34, c35, c36, c37
 }
 
 // storeTile writes a complete micro-tile through the call's epilogue,
@@ -438,47 +480,73 @@ func (g *i8gemmCall) storeTile(tile *[i8MR * i8NR]int32, i0, j0, mr, nr int) {
 }
 
 // packA copies A[ic:ic+mc, 0:k] into MR-row panels, zero-padded past mc.
+// Within a panel the layout is k-pair interleaved: pair t holds
+// [a(i,2t) a(i,2t+1)] for each of the MR rows in turn, with the second
+// element zero when k is odd and 2t+1 == k.
 //
 //skynet:hotpath
 func (g *i8gemmCall) packA(dst []int8, ic, mc int) {
+	kp := (g.k + 1) / 2
 	mcp := (mc + i8MR - 1) / i8MR * i8MR
 	for ir := 0; ir < mcp; ir += i8MR {
-		base := (ir / i8MR) * g.k * i8MR
+		base := (ir / i8MR) * kp * 2 * i8MR
 		for r := 0; r < i8MR; r++ {
-			if ir+r < mc {
-				arow := g.a[(ic+ir+r)*g.k:]
-				for p := 0; p < g.k; p++ {
-					dst[base+p*i8MR+r] = arow[p]
+			if ir+r >= mc {
+				for t := 0; t < kp; t++ {
+					dst[base+t*2*i8MR+2*r] = 0
+					dst[base+t*2*i8MR+2*r+1] = 0
 				}
-			} else {
-				for p := 0; p < g.k; p++ {
-					dst[base+p*i8MR+r] = 0
+				continue
+			}
+			arow := g.a[(ic+ir+r)*g.k : (ic+ir+r)*g.k+g.k]
+			for t := 0; t < kp; t++ {
+				p := 2 * t
+				dst[base+t*2*i8MR+2*r] = arow[p]
+				if p+1 < g.k {
+					dst[base+t*2*i8MR+2*r+1] = arow[p+1]
+				} else {
+					dst[base+t*2*i8MR+2*r+1] = 0
 				}
 			}
 		}
 	}
 }
 
-// packB copies B[0:k, jc:jc+nc] into NR-column panels, zero-padded past nc.
+// packB copies B[0:k, jc:jc+nc] into NR-column panels, zero-padded past
+// nc. Within a panel the layout is k-pair interleaved: pair t holds
+// [b(2t,j) b(2t+1,j)] for each of the NR columns in turn — 16 consecutive
+// bytes per pair, which is exactly one VPMOVSXBW load in the AVX2 kernel.
 //
 //skynet:hotpath
 func (g *i8gemmCall) packB(dst []int8, jc, nc int) {
+	kp := (g.k + 1) / 2
 	ncp := (nc + i8NR - 1) / i8NR * i8NR
 	for jr := 0; jr < ncp; jr += i8NR {
-		di := (jr / i8NR) * g.k * i8NR
+		di := (jr / i8NR) * kp * 2 * i8NR
 		lim := nc - jr
 		if lim > i8NR {
 			lim = i8NR
 		}
-		for p := 0; p < g.k; p++ {
-			src := g.b[p*g.n+jc+jr:]
+		for t := 0; t < kp; t++ {
+			p := 2 * t
+			row0 := g.b[p*g.n:]
+			var row1 []int8
+			if p+1 < g.k {
+				row1 = g.b[(p+1)*g.n:]
+			}
 			for q := 0; q < lim; q++ {
-				dst[di+q] = src[q]
+				dst[di+2*q] = row0[jc+jr+q]
+				if row1 != nil {
+					dst[di+2*q+1] = row1[jc+jr+q]
+				} else {
+					dst[di+2*q+1] = 0
+				}
 			}
 			for q := lim; q < i8NR; q++ {
-				dst[di+q] = 0
+				dst[di+2*q] = 0
+				dst[di+2*q+1] = 0
 			}
-			di += i8NR
+			di += 2 * i8NR
 		}
 	}
 }

@@ -1,0 +1,134 @@
+package tensor
+
+// Micro-kernel dispatch. The blocked GEMMs in gemm.go and gemm_int8.go are
+// written against two function variables — gemmMicro for float32 tiles,
+// i8Micro for int8 tiles — so the packing, blocking, worker pool, and
+// epilogue layers never know which instruction set computes the tile. On
+// amd64 hosts with AVX2 the variables point at Go-assembly kernels
+// (gemm_avx2_amd64.s); everywhere else, and on builds with the `purego`
+// tag, they point at the portable Go kernels that double as the test
+// oracle.
+//
+// The default float32 kernel deliberately avoids fused multiply-add even
+// when the CPU has it: FMA skips the intermediate rounding of a*b, so an
+// FMA tile is not bitwise identical to the pure-Go reference, and the
+// repo's determinism contract (identical bytes across kernels, reruns, and
+// GOMAXPROCS) is worth more than the last 2× of float throughput. The
+// avx2fma kernel exists behind an explicit opt-in for deployments that
+// prefer speed; the int8 kernel accumulates in exact integer arithmetic,
+// so it is bitwise identical to the reference by construction.
+//
+// Selection is per-process: `auto` at startup, overridable with the
+// SKYNET_KERNEL environment variable or SetKernel. SetKernel must not be
+// called concurrently with in-flight GEMMs — it is a startup/test seam,
+// not a hot-path switch.
+
+import (
+	"fmt"
+	"os"
+)
+
+// gemmMicroFunc computes one MR×NR float32 tile over packed panels: ap
+// holds kc groups of gemmMR A-values, bp holds kc groups of gemmNR
+// B-values; the tile is overwritten.
+type gemmMicroFunc func(kc int, ap, bp []float32, tile *[gemmMR * gemmNR]float32)
+
+// i8MicroFunc computes one MR×NR int32 tile over pair-packed int8 panels:
+// ap holds kp groups of 2·i8MR A-values, bp holds kp groups of 2·i8NR
+// B-values (see the packing comments in gemm_int8.go); the tile is
+// overwritten.
+type i8MicroFunc func(kp int, ap, bp []int8, tile *[i8MR * i8NR]int32)
+
+var (
+	gemmMicro      gemmMicroFunc = microKernelRef
+	i8Micro        i8MicroFunc   = i8MicroKernelRef
+	gemmKernelName               = "purego"
+	i8KernelName                 = "purego"
+)
+
+func init() {
+	if name := os.Getenv("SKYNET_KERNEL"); name != "" {
+		if err := SetKernel(name); err != nil {
+			fmt.Fprintf(os.Stderr, "tensor: SKYNET_KERNEL: %v; falling back to auto\n", err)
+			_ = SetKernel("auto")
+		}
+		return
+	}
+	_ = SetKernel("auto")
+}
+
+// SetKernel selects the micro-kernel implementation by name:
+//
+//	auto     best available bitwise-deterministic kernel (default)
+//	purego   portable Go kernels on every path
+//	avx2     AVX2 assembly, no FMA (bitwise identical to purego)
+//	avx2fma  AVX2 with fused multiply-add on the float32 path — faster,
+//	         but results differ from purego by bounded rounding error
+//
+// It returns an error (and changes nothing) if the named kernel is not
+// available on this CPU or build. Not safe to call concurrently with
+// running GEMMs.
+func SetKernel(name string) error {
+	asmF32, asmFMA, asmI8 := nativeKernels()
+	switch name {
+	case "", "auto":
+		if asmF32 != nil {
+			gemmMicro, gemmKernelName = asmF32, "avx2"
+		} else {
+			gemmMicro, gemmKernelName = microKernelRef, "purego"
+		}
+	case "purego":
+		gemmMicro, gemmKernelName = microKernelRef, "purego"
+		i8Micro, i8KernelName = i8MicroKernelRef, "purego"
+		gemmMinBlockedK = gemmMinBlockedKPure
+		return nil
+	case "avx2":
+		if asmF32 == nil {
+			return fmt.Errorf("kernel %q not available (no AVX2 on this CPU or purego build)", name)
+		}
+		gemmMicro, gemmKernelName = asmF32, "avx2"
+	case "avx2fma":
+		if asmFMA == nil {
+			return fmt.Errorf("kernel %q not available (no AVX2+FMA on this CPU or purego build)", name)
+		}
+		gemmMicro, gemmKernelName = asmFMA, "avx2fma"
+	default:
+		return fmt.Errorf("unknown kernel %q (want auto, purego, avx2 or avx2fma)", name)
+	}
+	if asmI8 != nil {
+		i8Micro, i8KernelName = asmI8, "avx2"
+	} else {
+		i8Micro, i8KernelName = i8MicroKernelRef, "purego"
+	}
+	// The blocked-vs-naive crossover moves with the kernel: the asm tile is
+	// fast enough that packing pays off at much shallower k (see the
+	// gemmMinBlockedK comment in gemm.go).
+	if gemmKernelName == "purego" {
+		gemmMinBlockedK = gemmMinBlockedKPure
+	} else {
+		gemmMinBlockedK = gemmMinBlockedKAsm
+	}
+	return nil
+}
+
+// HasKernel reports whether SetKernel(name) would succeed.
+func HasKernel(name string) bool {
+	asmF32, asmFMA, _ := nativeKernels()
+	switch name {
+	case "", "auto", "purego":
+		return true
+	case "avx2":
+		return asmF32 != nil
+	case "avx2fma":
+		return asmFMA != nil
+	}
+	return false
+}
+
+// KernelName reports the float32 micro-kernel currently dispatched
+// ("purego", "avx2" or "avx2fma").
+func KernelName() string { return gemmKernelName }
+
+// Int8KernelName reports the int8 micro-kernel currently dispatched
+// ("purego" or "avx2").
+func Int8KernelName() string { return i8KernelName }

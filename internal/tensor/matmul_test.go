@@ -186,9 +186,6 @@ func TestMatMulParallelMatchesSerial(t *testing.T) {
 // TestMatMulSteadyStateAllocs pins the zero-allocation contract of the
 // serial blocked kernel: packing scratch and call descriptors are pooled.
 func TestMatMulSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("sync.Pool drops Puts at random under the race detector, so alloc counts are not meaningful")
-	}
 	oldPar := MaxParallelism
 	MaxParallelism = 1
 	defer func() { MaxParallelism = oldPar }()
