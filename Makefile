@@ -3,9 +3,9 @@ GO ?= go
 # Per-package coverage floor (percent) enforced by `make cover` on the
 # serving-critical packages.
 COVER_FLOOR ?= 60
-COVER_PKGS  ?= ./internal/serve ./internal/pipeline ./internal/detect ./internal/quant
+COVER_PKGS  ?= ./internal/serve ./internal/pipeline ./internal/detect ./internal/quant ./internal/track
 
-.PHONY: all build binaries vet lint test short race purego arm64 bench bench-quant bench-json cover check ci
+.PHONY: all build binaries vet lint test short race purego arm64 bench bench-quant bench-track bench-json cover check ci
 
 all: ci
 
@@ -40,10 +40,11 @@ short:
 
 # race runs the concurrency-bearing packages under the race detector: the
 # parallel GEMM/conv kernels, the streaming pipeline executor (plus its
-# detect-stage adapters), and the batching HTTP server. The tests force
-# multi-worker execution even on one CPU.
+# detect-stage adapters), the batching HTTP server, and the stateful
+# tracking service with its session table. The tests force multi-worker
+# execution even on one CPU.
 race:
-	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/... ./internal/serve/...
+	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/... ./internal/serve/... ./internal/track/...
 
 # purego runs the kernel-bearing packages with the assembly micro-kernels
 # compiled out, so the portable fallback (and its dispatch seam) cannot
@@ -70,11 +71,18 @@ bench-quant:
 	@$(GO) run ./cmd/skynet-bench -which
 	$(GO) test -run xxx -bench 'BenchmarkInt8GEMMShapes|BenchmarkFloatGEMMShapes' -benchmem ./internal/tensor
 
-# bench-json regenerates BENCH_gemm.json, the committed machine-readable
-# GFLOPS trajectory: every kernel (purego + available asm) at SkyNet GEMM
-# shapes, serial, with allocation counts. Commit the diff when kernels
-# change so the trajectory stays honest.
-bench-json:
+# bench-track regenerates BENCH_track.json, the committed tracking
+# baseline: one seeded tracker evaluated under the gemm, naive, and int8
+# cross-correlation backends, recording frames/sec and AO/SR per backend
+# plus the int8 path's AO parity delta.
+bench-track:
+	$(GO) run ./cmd/skynet-bench -track-out BENCH_track.json
+
+# bench-json regenerates the committed machine-readable baselines:
+# BENCH_gemm.json (GFLOPS trajectory — every kernel at SkyNet GEMM shapes,
+# serial, with allocation counts) and BENCH_track.json (tracking backends).
+# Commit the diff when kernels change so the trajectory stays honest.
+bench-json: bench-track
 	$(GO) run ./cmd/skynet-bench -out BENCH_gemm.json
 
 # cover measures statement coverage on the serving-critical packages and

@@ -1,0 +1,51 @@
+package skynet_test
+
+// Validates the committed tracking baseline: BENCH_track.json must carry
+// one record per cross-correlation backend, the gemm route's AO must equal
+// the naive oracle's exactly (the bitwise-identity contract), and the int8
+// route's AO must sit within the accepted parity band. `make bench-track`
+// regenerates the file.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func TestBenchTrackBaseline(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_track.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var base struct {
+		TrainSteps int `json:"train_steps"`
+		Records    []struct {
+			Backend string  `json:"backend"`
+			AO      float64 `json:"ao"`
+			FPS     float64 `json:"fps"`
+			Frames  int     `json:"frames"`
+		} `json:"records"`
+		AODeltaInt8 float64 `json:"ao_delta_int8"`
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing BENCH_track.json: %v", err)
+	}
+	ao := map[string]float64{}
+	for _, r := range base.Records {
+		if r.FPS <= 0 || r.Frames <= 0 {
+			t.Fatalf("backend %q: fps %v over %d frames — not a real measurement", r.Backend, r.FPS, r.Frames)
+		}
+		ao[r.Backend] = r.AO
+	}
+	for _, b := range []string{"gemm", "naive", "int8"} {
+		if _, ok := ao[b]; !ok {
+			t.Fatalf("baseline missing backend %q", b)
+		}
+	}
+	if ao["gemm"] != ao["naive"] {
+		t.Fatalf("gemm AO %v != naive AO %v: the bitwise-identity contract is broken", ao["gemm"], ao["naive"])
+	}
+	if base.AODeltaInt8 > 0.02 {
+		t.Fatalf("int8 AO delta %v exceeds the 0.02 parity band", base.AODeltaInt8)
+	}
+}

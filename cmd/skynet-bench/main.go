@@ -12,6 +12,12 @@
 //	skynet-bench -out BENCH_gemm.json  # write the committed baseline
 //	skynet-bench -kernels purego       # restrict kernel set
 //	skynet-bench -which                # print dispatched kernels and exit
+//	skynet-bench -track-out BENCH_track.json  # tracking baseline instead
+//
+// With -track-out the command records the tracking trajectory instead: a
+// seeded SkyNet tracker is trained once, then evaluated per
+// cross-correlation backend (gemm, naive, int8), recording frames/sec and
+// the GOT-10k metrics so the int8 path's AO parity is pinned in-repo.
 //
 // Runs are serial (MaxParallelism=1): the trajectory tracks kernel
 // throughput, not worker-pool scaling.
@@ -27,9 +33,12 @@ import (
 	"strings"
 	"testing"
 
+	"skynet/internal/backbone"
 	"skynet/internal/cpufeat"
+	"skynet/internal/dataset"
 	"skynet/internal/nn"
 	"skynet/internal/tensor"
+	"skynet/internal/track"
 )
 
 // gemmShapes are the SkyNet layer shapes used by `make bench` and
@@ -126,6 +135,78 @@ func benchConv() Record {
 		GFLOPS: per * float64(r.N) / r.T.Seconds() / 1e9, Allocs: r.AllocsPerOp()}
 }
 
+// TrackRecord is one tracking measurement: the GOT-10k metrics and the
+// frame rate under one cross-correlation backend.
+type TrackRecord struct {
+	Backend string  `json:"backend"` // gemm | naive | int8
+	Kernel  string  `json:"kernel"`
+	AO      float64 `json:"ao"`
+	SR50    float64 `json:"sr50"`
+	SR75    float64 `json:"sr75"`
+	FPS     float64 `json:"fps"`
+	Frames  int     `json:"frames"`
+}
+
+// TrackBaseline is the file format of BENCH_track.json. AODeltaInt8 is
+// |AO(int8) − AO(gemm)|, the quantized path's accuracy parity.
+type TrackBaseline struct {
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	AVX2        bool          `json:"cpu_avx2"`
+	FMA         bool          `json:"cpu_fma"`
+	Parallelism int           `json:"max_parallelism"`
+	TrainSteps  int           `json:"train_steps"`
+	Records     []TrackRecord `json:"records"`
+	AODeltaInt8 float64       `json:"ao_delta_int8"`
+}
+
+// benchTrack trains one seeded tracker and evaluates it under every
+// cross-correlation backend on the same sequences, so the records differ
+// only in the lowering.
+func benchTrack(steps int) TrackBaseline {
+	cfg := dataset.DefaultConfig()
+	cfg.W, cfg.H = 96, 96
+	cfg.Seed = 1
+	gen := dataset.NewGenerator(cfg)
+	sc := dataset.DefaultSequenceConfig()
+	sc.Length = 10
+	trainSeqs := gen.Sequences(4, sc)
+	evalSeqs := gen.Sequences(3, sc)
+
+	bcfg := backbone.Config{Width: 0.125, InC: 3, HeadChannels: 0, MaxStride: 8, ReLU6: true}
+	tcfg := track.DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	tr := track.New(backbone.SkyNetA(rng, bcfg), bcfg.ScaledChannels(512), tcfg)
+	fmt.Fprintf(os.Stderr, "# training tracker (%d steps)...\n", steps)
+	tr.Train(trainSeqs, track.TrainConfig{Steps: steps, LR: 0.01, Seed: 1})
+
+	base := TrackBaseline{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		AVX2: cpufeat.AVX2, FMA: cpufeat.FMA, Parallelism: 1, TrainSteps: steps}
+	var aoGEMM, aoInt8 float64
+	for _, b := range []track.XCorrBackend{track.XCorrGEMM, track.XCorrNaive, track.XCorrInt8} {
+		tr.XCorr = b
+		res := tr.Evaluate(evalSeqs)
+		rec := TrackRecord{Backend: b.String(), Kernel: tensor.KernelName(),
+			AO: res.AO, SR50: res.SR50, SR75: res.SR75, FPS: res.FPS, Frames: res.Frames}
+		fmt.Fprintf(os.Stderr, "#   xcorr=%-6s AO %.3f  SR@0.50 %.3f  SR@0.75 %.3f  %.1f FPS\n",
+			rec.Backend, rec.AO, rec.SR50, rec.SR75, rec.FPS)
+		base.Records = append(base.Records, rec)
+		switch b {
+		case track.XCorrGEMM:
+			aoGEMM = res.AO
+		case track.XCorrInt8:
+			aoInt8 = res.AO
+		}
+	}
+	tr.XCorr = track.XCorrGEMM
+	if d := aoInt8 - aoGEMM; d < 0 {
+		base.AODeltaInt8 = -d
+	} else {
+		base.AODeltaInt8 = d
+	}
+	return base
+}
+
 func randI8(rng *rand.Rand, n int) []int8 {
 	s := make([]int8, n)
 	for i := range s {
@@ -136,14 +217,34 @@ func randI8(rng *rand.Rand, n int) []int8 {
 
 func main() {
 	var (
-		out     = flag.String("out", "", "write JSON here instead of stdout")
-		kernels = flag.String("kernels", "", "comma-separated kernel names to run (default: purego plus every available asm kernel)")
-		which   = flag.Bool("which", false, "print the dispatched kernel names and exit")
+		out        = flag.String("out", "", "write JSON here instead of stdout")
+		kernels    = flag.String("kernels", "", "comma-separated kernel names to run (default: purego plus every available asm kernel)")
+		which      = flag.Bool("which", false, "print the dispatched kernel names and exit")
+		trackOut   = flag.String("track-out", "", "record the tracking baseline (xcorr backends) to this file instead")
+		trackSteps = flag.Int("track-steps", 240, "tracker training steps for -track-out")
 	)
 	flag.Parse()
 
 	if *which {
 		fmt.Printf("float32 kernel: %s\nint8 kernel:    %s\n", tensor.KernelName(), tensor.Int8KernelName())
+		return
+	}
+
+	if *trackOut != "" {
+		oldPar := tensor.MaxParallelism
+		tensor.MaxParallelism = 1
+		defer func() { tensor.MaxParallelism = oldPar }()
+		base := benchTrack(*trackSteps)
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*trackOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -38,6 +38,7 @@ import (
 	"skynet/internal/quant"
 	"skynet/internal/serve"
 	"skynet/internal/tensor"
+	"skynet/internal/track"
 )
 
 func main() {
@@ -54,6 +55,12 @@ func main() {
 		queue   = flag.Int("queue", 64, "admission queue depth (overflow sheds with 429)")
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request deadline when the client sets none")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
+
+		withTrack  = flag.Bool("track", false, "co-host the tracking service (/track/*) beside detection")
+		trackSteps = flag.Int("track-steps", 300, "tracker training steps for -track")
+		trackSess  = flag.Int("track-sessions", 1024, "session table bound for -track")
+		trackTTL   = flag.Duration("track-ttl", 5*time.Minute, "idle session TTL for -track")
+		trackXCorr = flag.String("track-xcorr", "gemm", "tracking cross-correlation backend: gemm, naive, int8")
 
 		quantize = flag.Bool("quantize", false, "serve the int8 lowering of the model (post-training quantization)")
 		calibN   = flag.Int("calib", 32, "calibration scenes drawn for -quantize")
@@ -91,6 +98,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	var ts *serve.TrackService
+	if *withTrack {
+		ts, err = buildTrackService(*trackSteps, *trackSess, *trackTTL, *trackXCorr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-serve: track: %v\n", err)
+			os.Exit(1)
+		}
+		srv.Attach(ts)
+		fmt.Printf("skynet-serve: tracking service attached (sessions<=%d, ttl %s, xcorr=%s)\n",
+			*trackSess, *trackTTL, *trackXCorr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -103,6 +122,38 @@ func main() {
 	m := srv.Metrics()
 	fmt.Printf("skynet-serve: drained cleanly — served %d, failed %d, rejected %d, mean batch %.2f\n",
 		m.Served, m.Failed, m.Rejected, m.MeanBatchSize)
+	if ts != nil {
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		_ = ts.Drain(dctx)
+		cancel()
+		tm := ts.Metrics()
+		fmt.Printf("skynet-serve: tracking drained — %d sessions started, %d frames stepped\n",
+			tm.Started, tm.Steps)
+	}
+}
+
+// buildTrackService trains a small seeded SkyNet tracker on synthetic
+// sequences (the repo has no tracker checkpoint format yet) and wraps it
+// in a tracking service.
+func buildTrackService(steps, maxSessions int, ttl time.Duration, xcorr string) (*serve.TrackService, error) {
+	xb, err := track.ParseXCorrBackend(xcorr)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = 96, 96
+	dcfg.Seed = 1
+	gen := dataset.NewGenerator(dcfg)
+	sc := dataset.DefaultSequenceConfig()
+	seqs := gen.Sequences(4, sc)
+
+	bcfg := backbone.Config{Width: 0.125, InC: 3, HeadChannels: 0, MaxStride: 8, ReLU6: true}
+	rng := rand.New(rand.NewSource(1))
+	tr := track.New(backbone.SkyNetA(rng, bcfg), bcfg.ScaledChannels(512), track.DefaultConfig())
+	tr.XCorr = xb
+	fmt.Printf("skynet-serve: training tracker (%d steps)...\n", steps)
+	tr.Train(seqs, track.TrainConfig{Steps: steps, LR: 0.01, Seed: 1})
+	return serve.NewTrackService(tr, serve.TrackConfig{MaxSessions: maxSessions, TTL: ttl})
 }
 
 // quantizeModel lowers g to a real int8 model, calibrating activations on

@@ -3,20 +3,33 @@
 // benchmark's AO / SR@0.50 / SR@0.75 metrics and the tracking speed, and
 // optionally rendering tracked frames.
 //
+// With -serve the trained tracker is exposed as a stateful HTTP service:
+// POST /track/start fixes a template and returns a session ID, POST
+// /track/step advances one frame, POST /track/stop releases the session,
+// and GET /metrics reports the session table (live count, TTL evictions,
+// bytes/session) alongside latency quantiles.
+//
 // Usage:
 //
 //	skynet-track -backbone skynet -steps 900
 //	skynet-track -backbone resnet50 -mask       # SiamMask-style variant
+//	skynet-track -xcorr int8                    # quantized correlation
+//	skynet-track -serve :8081 -ttl 2m -max-sessions 4096
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"skynet/internal/backbone"
 	"skynet/internal/dataset"
+	"skynet/internal/serve"
 	"skynet/internal/track"
 )
 
@@ -31,8 +44,21 @@ func main() {
 		length = flag.Int("length", 12, "frames per sequence")
 		seed   = flag.Int64("seed", 1, "random seed")
 		render = flag.Bool("render", false, "ASCII-render tracked frames of the first eval sequence")
+
+		xcorr    = flag.String("xcorr", "gemm", "cross-correlation backend: gemm, naive, int8")
+		addr     = flag.String("serve", "", "after training, serve the tracker on this HTTP address")
+		ttl      = flag.Duration("ttl", 5*time.Minute, "idle session time-to-live for -serve")
+		maxSess  = flag.Int("max-sessions", 1024, "session table bound for -serve")
+		batch    = flag.Int("batch", 4, "inference micro-batch cap for -serve")
+		drainDur = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM for -serve")
 	)
 	flag.Parse()
+
+	xb, err := track.ParseXCorrBackend(*xcorr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skynet-track: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := dataset.DefaultConfig()
 	cfg.W, cfg.H = 96, 96
@@ -60,6 +86,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skynet-track: unknown backbone %q\n", *bb)
 		os.Exit(2)
 	}
+	tr.XCorr = xb
 
 	fmt.Printf("training %s tracker (%d steps, mask=%v)...\n", *bb, *steps, *mask)
 	tr.Train(trainSeqs, track.TrainConfig{
@@ -86,5 +113,28 @@ func main() {
 			fmt.Printf("\nframe %d (IoU %.3f):\n%s", f, box.IoU(seq.Boxes[f]),
 				dataset.ASCIIRender(seq.Frames[f], seq.Boxes[f], box, 56))
 		}
+	}
+
+	if *addr != "" {
+		ts, err := serve.NewTrackService(tr, serve.TrackConfig{
+			MaxSessions: *maxSess,
+			TTL:         *ttl,
+			MaxBatch:    *batch,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-track: %v\n", err)
+			os.Exit(1)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Printf("skynet-track: tracking service on %s (xcorr=%s, sessions<=%d, ttl %s)\n",
+			*addr, xb, *maxSess, *ttl)
+		if err := ts.ListenAndServe(ctx, *addr, *drainDur); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-track: %v\n", err)
+			os.Exit(1)
+		}
+		m := ts.Metrics()
+		fmt.Printf("skynet-track: drained — %d sessions started, %d frames stepped, %d evicted\n",
+			m.Started, m.Steps, m.Evicted)
 	}
 }

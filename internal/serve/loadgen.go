@@ -11,6 +11,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -123,6 +124,179 @@ func (l *LoadGen) Run(ctx context.Context) (LoadReport, error) {
 	}
 	wg.Wait()
 	return LoadReport{Results: results, Elapsed: time.Since(t0)}, ctx.Err()
+}
+
+// TrackLoadGen drives the tracking routes: each client owns one session —
+// POST /track/start on frame 0, one /track/step per later frame, then
+// /track/stop — so S clients exercise S concurrent sessions interleaving
+// through the shared inference stage. The integration tests use it to pin
+// byte-identical-to-offline tracking under concurrency, and
+// cmd/skynet-bench's tracking mode uses it for BENCH_track.json.
+type TrackLoadGen struct {
+	// URL is the server base URL.
+	URL string
+	// Sessions is the number of concurrent sessions; 0 selects 8.
+	Sessions int
+	// Frames is the per-session sequence: Frames[s][0] starts session s,
+	// every later frame is one step. Each needs at least 2 frames.
+	Frames [][]*tensor.Tensor
+	// Boxes holds each session's init box.
+	Boxes []detect.Box
+	// Mask requests the mask patch with every step.
+	Mask bool
+	// Client is the HTTP client; nil selects http.DefaultClient.
+	Client *http.Client
+}
+
+// TrackSessionResult records one session's outcome.
+type TrackSessionResult struct {
+	Session string
+	// Boxes are the per-step boxes in frame order (steps that failed leave
+	// a zero box).
+	Boxes []detect.Box
+	// Masks are the per-step mask payloads when requested.
+	Masks []*detect.Request
+	// Statuses holds each call's HTTP status: start, then one per step.
+	Statuses []int
+	// BytesPerSession is the server-reported resident footprint.
+	BytesPerSession int64
+	Latency         []time.Duration // one entry per call
+	Err             error           // first transport or decode failure
+}
+
+// TrackLoadReport aggregates a tracking load run.
+type TrackLoadReport struct {
+	Sessions []TrackSessionResult
+	Elapsed  time.Duration
+	// Steps is the number of successful step calls across sessions.
+	Steps int
+}
+
+// FPS is the aggregate frame rate: successful steps over wall time.
+func (r TrackLoadReport) FPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Steps) / r.Elapsed.Seconds()
+}
+
+// Errors returns every session with a transport failure or a non-200 call.
+func (r TrackLoadReport) Errors() []TrackSessionResult {
+	var out []TrackSessionResult
+	for _, s := range r.Sessions {
+		bad := s.Err != nil
+		for _, st := range s.Statuses {
+			if st != http.StatusOK {
+				bad = true
+			}
+		}
+		if bad {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Run fires every session concurrently and blocks until all resolve.
+func (l *TrackLoadGen) Run(ctx context.Context) (TrackLoadReport, error) {
+	n := l.Sessions
+	if n <= 0 {
+		n = 8
+	}
+	if len(l.Frames) == 0 || len(l.Boxes) != len(l.Frames) {
+		return TrackLoadReport{}, fmt.Errorf("serve: track loadgen needs matching Frames and Boxes")
+	}
+	hc := l.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	out := make([]TrackSessionResult, n)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			seq := s % len(l.Frames)
+			out[s] = l.oneSession(ctx, hc, l.Frames[seq], l.Boxes[seq])
+		}(s)
+	}
+	wg.Wait()
+	rep := TrackLoadReport{Sessions: out, Elapsed: time.Since(t0)}
+	for _, s := range out {
+		for i, st := range s.Statuses {
+			if i > 0 && st == http.StatusOK {
+				rep.Steps++
+			}
+		}
+	}
+	return rep, ctx.Err()
+}
+
+// postJSON posts one JSON payload and decodes the response into dst.
+func postJSON(ctx context.Context, hc *http.Client, url string, payload, dst any) (int, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(payload); err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if dst != nil {
+		if err := json.Unmarshal(body, dst); err != nil {
+			return resp.StatusCode, fmt.Errorf("serve: decoding %s response: %w", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (l *TrackLoadGen) oneSession(ctx context.Context, hc *http.Client, frames []*tensor.Tensor, init detect.Box) TrackSessionResult {
+	var res TrackSessionResult
+	if len(frames) < 2 {
+		res.Err = fmt.Errorf("serve: session needs at least 2 frames, got %d", len(frames))
+		return res
+	}
+	t0 := time.Now()
+	start := TrackStartRequest{Shape: frames[0].Shape(), Data: frames[0].Data, Box: init}
+	var sr TrackStartResponse
+	status, err := postJSON(ctx, hc, l.URL+"/track/start", start, &sr)
+	res.Statuses = append(res.Statuses, status)
+	res.Latency = append(res.Latency, time.Since(t0))
+	if err != nil || status != http.StatusOK {
+		res.Err = err
+		return res
+	}
+	res.Session = sr.Session
+	res.BytesPerSession = sr.BytesPerSession
+	for _, frame := range frames[1:] {
+		t1 := time.Now()
+		step := TrackStepRequest{Session: sr.Session, Shape: frame.Shape(), Data: frame.Data, Mask: l.Mask}
+		var sp TrackStepResponse
+		status, err := postJSON(ctx, hc, l.URL+"/track/step", step, &sp)
+		res.Statuses = append(res.Statuses, status)
+		res.Latency = append(res.Latency, time.Since(t1))
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Boxes = append(res.Boxes, sp.Box)
+		if l.Mask {
+			res.Masks = append(res.Masks, sp.Mask)
+		}
+	}
+	_, _ = postJSON(ctx, hc, l.URL+"/track/stop", TrackStopRequest{Session: sr.Session}, nil)
+	return res
 }
 
 func (l *LoadGen) one(ctx context.Context, hc *http.Client, client, imgIdx int, body []byte) LoadResult {

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"skynet/internal/pipeline"
 )
 
 // histBuckets spans 50µs..~1100s in ×1.5 steps — fine resolution around
@@ -19,6 +21,24 @@ const (
 	histBase    = 50 * time.Microsecond
 	histGrowth  = 1.5
 )
+
+// histBounds is the one shared table of bucket upper bounds: bucket i
+// holds observations d with histBounds[i-1] <= d < histBounds[i] (bucket 0
+// holds everything below histBase; the last bucket is the overflow).
+// observe indexes by comparison against this table and quantile reads the
+// same table, so a reported quantile is always an upper bound on every
+// observation counted at or below it. The previous code derived the
+// observe index from math.Log and the bounds from math.Pow — two
+// floating-point paths that disagree at bucket boundaries, letting an
+// observation land in a bucket whose reported upper bound was below the
+// observed latency (a reported p99 smaller than a real observation).
+var histBounds = func() [histBuckets]time.Duration {
+	var b [histBuckets]time.Duration
+	for i := range b {
+		b[i] = time.Duration(float64(histBase) * math.Pow(histGrowth, float64(i)))
+	}
+	return b
+}()
 
 // histogram is a fixed log-bucketed latency recorder. The zero bucket
 // holds everything below histBase; the last bucket is the overflow.
@@ -34,11 +54,11 @@ func (h *histogram) observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	idx := 0
-	if d >= histBase {
-		idx = 1 + int(math.Log(float64(d)/float64(histBase))/math.Log(histGrowth))
-		if idx >= histBuckets {
-			idx = histBuckets - 1
+	idx := histBuckets - 1 // overflow unless a bound admits d
+	for i, upper := range histBounds {
+		if d < upper {
+			idx = i
+			break
 		}
 	}
 	h.counts[idx].Add(1)
@@ -46,16 +66,13 @@ func (h *histogram) observe(d time.Duration) {
 	h.sumNS.Add(int64(d))
 }
 
-// bucketUpper returns the upper bound of bucket i.
-func bucketUpper(i int) time.Duration {
-	if i == 0 {
-		return histBase
-	}
-	return time.Duration(float64(histBase) * math.Pow(histGrowth, float64(i)))
-}
+// bucketUpper returns the upper bound of bucket i from the shared table.
+func bucketUpper(i int) time.Duration { return histBounds[i] }
 
-// quantile returns the latency below which fraction q of observations
-// fall, interpolated from the bucket bounds. Zero observations report 0.
+// quantile returns the upper bound of the bucket containing the
+// rank-⌈q·total⌉ observation — a conservative (never underestimating)
+// quantile, resolved to the histogram's ×1.5 bucket granularity. No
+// interpolation is attempted inside a bucket. Zero observations report 0.
 func (h *histogram) quantile(q float64) time.Duration {
 	total := h.total.Load()
 	if total == 0 {
@@ -118,6 +135,10 @@ type Metrics struct {
 
 	// Stages is the executor's per-stage occupancy breakdown.
 	Stages []pipelineStageJSON `json:"stages"`
+
+	// Track is the attached tracking service's snapshot, when one is
+	// co-hosted on this server (Server.Attach).
+	Track *TrackMetrics `json:"track,omitempty"`
 }
 
 // pipelineStageJSON flattens pipeline.StageStats into JSON-friendly units.
@@ -132,6 +153,23 @@ type pipelineStageJSON struct {
 	PerItemMS     float64 `json:"per_item_ms"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	Occupancy     float64 `json:"occupancy"`
+}
+
+// stageJSON flattens one stage's stats for the /metrics payload; shared by
+// the detection and tracking snapshots.
+func stageJSON(st pipeline.StageStats) pipelineStageJSON {
+	return pipelineStageJSON{
+		Name:          st.Name,
+		Workers:       st.Workers,
+		Items:         st.Items,
+		Batches:       st.Batches,
+		BusyMS:        st.Busy.Seconds() * 1e3,
+		WaitMS:        st.Wait.Seconds() * 1e3,
+		BlockedMS:     st.Blocked.Seconds() * 1e3,
+		PerItemMS:     st.PerItemSeconds() * 1e3,
+		MeanBatchSize: st.MeanBatchSize(),
+		Occupancy:     st.Occupancy(),
+	}
 }
 
 // Metrics snapshots the server's observability counters.
@@ -152,22 +190,19 @@ func (s *Server) Metrics() Metrics {
 		},
 	}
 	for _, st := range s.ex.Stats() {
-		m.Stages = append(m.Stages, pipelineStageJSON{
-			Name:          st.Name,
-			Workers:       st.Workers,
-			Items:         st.Items,
-			Batches:       st.Batches,
-			BusyMS:        st.Busy.Seconds() * 1e3,
-			WaitMS:        st.Wait.Seconds() * 1e3,
-			BlockedMS:     st.Blocked.Seconds() * 1e3,
-			PerItemMS:     st.PerItemSeconds() * 1e3,
-			MeanBatchSize: st.MeanBatchSize(),
-			Occupancy:     st.Occupancy(),
-		})
-		if st.Batches > 0 {
+		m.Stages = append(m.Stages, stageJSON(st))
+		// The headline batching metrics come from the inference stage,
+		// selected by name: "last stage with batches wins" would let any
+		// other batching stage (the tracking pipeline adds one) silently
+		// overwrite them.
+		if st.Name == pipeline.StageInfer {
 			m.Batches = st.Batches
 			m.MeanBatchSize = st.MeanBatchSize()
 		}
+	}
+	if s.track != nil {
+		tm := s.track.Metrics()
+		m.Track = &tm
 	}
 	return m
 }

@@ -120,7 +120,15 @@ type Server struct {
 	failed   atomic.Int64
 	rejected atomic.Int64
 	expired  atomic.Int64
+
+	// track, when attached, co-hosts a TrackService on this server's HTTP
+	// front end and folds its counters into /metrics.
+	track *TrackService
 }
+
+// Attach co-hosts a tracking service: Handler mounts its /track routes and
+// Metrics reports its counters under "track". Call before Handler.
+func (s *Server) Attach(ts *TrackService) { s.track = ts }
 
 // New starts the serving pipeline for a model+head pair. The model is
 // driven from a single inference worker (Graph forwards share buffers and

@@ -1,6 +1,7 @@
 package track
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -25,12 +26,71 @@ func (t *Tracker) Track(seq dataset.Sequence) []float64 {
 }
 
 // StepBox advances the tracked box by one frame given precomputed
-// exemplar features.
+// exemplar features. Malformed inputs panic; the tracking service calls
+// StepBoxE instead.
 func (t *Tracker) StepBox(zf *tensor.Tensor, frame *tensor.Tensor, box detect.Box) detect.Box {
+	nb, err := t.StepBoxE(zf, frame, box)
+	if err != nil {
+		panic(err.Error())
+	}
+	return nb
+}
+
+// checkFrame validates a [3,H,W] frame tensor.
+func checkFrame(frame *tensor.Tensor) error {
+	if frame == nil || frame.Rank() != 3 {
+		return fmt.Errorf("track: frame must be a [C,H,W] tensor, got %v", shapeOf(frame))
+	}
+	if frame.Dim(0) != 3 {
+		return fmt.Errorf("track: frame has %d channels, want 3", frame.Dim(0))
+	}
+	if frame.Dim(1) < 2 || frame.Dim(2) < 2 {
+		return fmt.Errorf("track: frame %v too small to track in", frame.Shape())
+	}
+	return nil
+}
+
+// checkBox validates a tracked box: finite, positive size.
+func checkBox(b detect.Box) error {
+	for _, v := range [...]float64{b.CX, b.CY, b.W, b.H} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("track: box %+v has a non-finite field", b)
+		}
+	}
+	if b.W <= 0 || b.H <= 0 {
+		return fmt.Errorf("track: box %+v has a non-positive size", b)
+	}
+	return nil
+}
+
+func shapeOf(t *tensor.Tensor) []int {
+	if t == nil {
+		return nil
+	}
+	return t.Shape()
+}
+
+// StepBoxE advances the tracked box by one frame given precomputed
+// exemplar features, returning an error — never panicking — on malformed
+// inputs. This is the tracking service's per-frame entry point: a bad
+// session request must become a 400, not kill a pipeline worker.
+func (t *Tracker) StepBoxE(zf *tensor.Tensor, frame *tensor.Tensor, box detect.Box) (detect.Box, error) {
+	if err := checkFrame(frame); err != nil {
+		return detect.Box{}, err
+	}
+	if err := checkBox(box); err != nil {
+		return detect.Box{}, err
+	}
+	if zf == nil || zf.Rank() != 3 {
+		return detect.Box{}, fmt.Errorf("track: exemplar features must be [C,h,w], got %v", shapeOf(zf))
+	}
 	imgH, imgW := frame.Dim(1), frame.Dim(2)
 	crop, side := t.SearchCrop(frame, box, box.CX, box.CY)
 	xf := t.features(crop, false)
-	resp := DWXCorr(zf, xf)
+	resp, err := t.xcorr(zf, xf)
+	if err != nil {
+		return detect.Box{}, err
+	}
 	c, r := resp.Dim(0), resp.Dim(1)
 	resp4 := resp.Reshape(1, c, r, r)
 	cls := t.Cls.Forward([]*tensor.Tensor{resp4}, false)
@@ -61,18 +121,37 @@ func (t *Tracker) StepBox(zf *tensor.Tensor, frame *tensor.Tensor, box detect.Bo
 	const damp = 0.3
 	nb.W = clampSize((1-damp)*box.W + damp*wNew)
 	nb.H = clampSize((1-damp)*box.H + damp*hNew)
-	return nb.Clip()
+	return nb.Clip(), nil
 }
 
 // PeakMask returns the sigmoid mask patch predicted at the response peak
 // for the given frame and box — the SiamMask output of Figure 8.
+// Malformed inputs panic; the tracking service calls PeakMaskE instead.
 func (t *Tracker) PeakMask(zf *tensor.Tensor, frame *tensor.Tensor, box detect.Box) *tensor.Tensor {
+	m, err := t.PeakMaskE(zf, frame, box)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// PeakMaskE is PeakMask with malformed inputs reported as errors.
+func (t *Tracker) PeakMaskE(zf *tensor.Tensor, frame *tensor.Tensor, box detect.Box) (*tensor.Tensor, error) {
 	if t.Mask == nil {
-		panic("track: PeakMask on a tracker without a mask head")
+		return nil, fmt.Errorf("track: PeakMask on a tracker without a mask head")
+	}
+	if err := checkFrame(frame); err != nil {
+		return nil, err
+	}
+	if err := checkBox(box); err != nil {
+		return nil, err
 	}
 	crop, _ := t.SearchCrop(frame, box, box.CX, box.CY)
 	xf := t.features(crop, false)
-	resp := DWXCorr(zf, xf)
+	resp, err := t.xcorr(zf, xf)
+	if err != nil {
+		return nil, err
+	}
 	c, r := resp.Dim(0), resp.Dim(1)
 	resp4 := resp.Reshape(1, c, r, r)
 	cls := t.Cls.Forward([]*tensor.Tensor{resp4}, false)
@@ -90,7 +169,7 @@ func (t *Tracker) PeakMask(zf *tensor.Tensor, frame *tensor.Tensor, box detect.B
 	for k := 0; k < m*m; k++ {
 		out.Data[k] = nn.Sigmoid(masks.At(0, k, py, px))
 	}
-	return out
+	return out, nil
 }
 
 // Evaluate runs the GOT-10k protocol over the sequences and returns the
@@ -125,6 +204,19 @@ func (t *Tracker) Evaluate(seqs []dataset.Sequence) EvalResult {
 // first frame, for callers driving step/PeakMask manually.
 func (t *Tracker) ExemplarFeatures(seq dataset.Sequence) *tensor.Tensor {
 	return t.features(t.ExemplarCrop(seq.Frames[0], seq.Boxes[0]), false).Clone()
+}
+
+// ExemplarFeaturesFor fixes a template from one frame and its box — the
+// session-start entry point of the tracking service. The returned tensor
+// owns its data and stays valid across later forwards.
+func (t *Tracker) ExemplarFeaturesFor(frame *tensor.Tensor, box detect.Box) (*tensor.Tensor, error) {
+	if err := checkFrame(frame); err != nil {
+		return nil, err
+	}
+	if err := checkBox(box); err != nil {
+		return nil, err
+	}
+	return t.features(t.ExemplarCrop(frame, box), false).Clone(), nil
 }
 
 func clampF(v, lo, hi float32) float32 {

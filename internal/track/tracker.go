@@ -1,6 +1,7 @@
 package track
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -34,6 +35,43 @@ func DefaultConfig() Config {
 // exemplar window is half the search window).
 const nominalFrac = 0.25
 
+// XCorrBackend selects the cross-correlation lowering used at inference.
+type XCorrBackend int
+
+const (
+	// XCorrGEMM routes through the blocked float32 GEMM (the default).
+	XCorrGEMM XCorrBackend = iota
+	// XCorrNaive uses the reference triple loop (the oracle).
+	XCorrNaive
+	// XCorrInt8 routes through the int8 quantized engine.
+	XCorrInt8
+)
+
+// String names the backend for benchmarks and flags.
+func (b XCorrBackend) String() string {
+	switch b {
+	case XCorrNaive:
+		return "naive"
+	case XCorrInt8:
+		return "int8"
+	default:
+		return "gemm"
+	}
+}
+
+// ParseXCorrBackend maps a flag value onto a backend.
+func ParseXCorrBackend(s string) (XCorrBackend, error) {
+	switch s {
+	case "gemm", "":
+		return XCorrGEMM, nil
+	case "naive":
+		return XCorrNaive, nil
+	case "int8":
+		return XCorrInt8, nil
+	}
+	return XCorrGEMM, fmt.Errorf("track: unknown xcorr backend %q (want gemm, naive or int8)", s)
+}
+
 // Tracker is a Siamese tracker: a shared backbone and adjust layer feed a
 // depth-wise cross-correlation whose response drives classification, box
 // regression, and optionally mask heads. With the mask head enabled it is
@@ -45,6 +83,26 @@ type Tracker struct {
 	Cls      *nn.Conv2D
 	Reg      *nn.Conv2D
 	Mask     *nn.Conv2D
+
+	// XCorr selects the cross-correlation lowering for inference; the
+	// zero value is the GEMM route.
+	XCorr XCorrBackend
+
+	// Cached feature-map sides, measured from a real backbone forward the
+	// first time the geometry is needed (see featSizes).
+	fz, fx int
+}
+
+// xcorr dispatches the configured cross-correlation backend.
+func (t *Tracker) xcorr(zf, xf *tensor.Tensor) (*tensor.Tensor, error) {
+	switch t.XCorr {
+	case XCorrNaive:
+		return DWXCorrNaive(zf, xf)
+	case XCorrInt8:
+		return DWXCorrInt8(zf, xf)
+	default:
+		return DWXCorrE(zf, xf)
+	}
 }
 
 // New builds a tracker around a headless backbone with the given output
@@ -128,9 +186,25 @@ func (t *Tracker) SearchCrop(img *tensor.Tensor, b detect.Box, cx, cy float64) (
 	return cropAt(img, cx, cy, side, t.Cfg.SearchSize), side
 }
 
+// featSizes returns the exemplar and search feature-map sides, measured
+// once by running zero crops through the backbone. Deriving the geometry
+// from the real feature shapes — instead of the old ExemplarSize/Stride
+// integer division — keeps the training targets and the response map in
+// agreement for every crop side, including ones that are not a multiple of
+// the backbone stride (where the division silently disagreed and the
+// cross-correlation blew up).
+func (t *Tracker) featSizes() (fz, fx int) {
+	if t.fz == 0 || t.fx == 0 {
+		zf := t.features(tensor.New(3, t.Cfg.ExemplarSize, t.Cfg.ExemplarSize), false)
+		t.fz = zf.Dim(1)
+		xf := t.features(tensor.New(3, t.Cfg.SearchSize, t.Cfg.SearchSize), false)
+		t.fx = xf.Dim(1)
+	}
+	return t.fz, t.fx
+}
+
 // respSize returns the response-map side for the configured geometry.
 func (t *Tracker) respSize() int {
-	fz := t.Cfg.ExemplarSize / t.Cfg.Stride
-	fx := t.Cfg.SearchSize / t.Cfg.Stride
+	fz, fx := t.featSizes()
 	return fx - fz + 1
 }

@@ -10,23 +10,133 @@ package track
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"skynet/internal/tensor"
 )
 
+// Depth-wise cross-correlation is the per-frame hot path of the streaming
+// tracker: every tracked frame correlates the cached exemplar features
+// against fresh search features. Three lowerings share one geometry check:
+//
+//   - The GEMM route (the default): each channel's search plane is lowered
+//     with im2col into a [hz*wz, oh*ow] patch matrix and multiplied by the
+//     channel's exemplar row — exactly how convolution reaches the blocked
+//     float32 GEMM, so the call inherits the kernel-dispatch seam
+//     (tensor.SetKernel: purego/AVX2/FMA) and the naive-vs-blocked
+//     crossover. Both GEMM paths accumulate k in ascending order, which is
+//     the naive loop's (ky, kx) order, so the result is bitwise identical
+//     to the oracle.
+//   - The naive triple loop (DWXCorrNaive), retained as the test oracle
+//     and the reference semantics.
+//   - The int8 route (DWXCorrInt8): both operands are quantized per-tensor
+//     (symmetric max-abs), lowered with Int8Im2Col, and multiplied in the
+//     quantized engine's int8×int8→int32 GEMM; the int32 accumulators are
+//     dequantized by the product of the two scales. Integer accumulation
+//     is exact, so this path is bitwise deterministic across kernels and
+//     worker counts; its accuracy versus the float path is measured as
+//     AO/SR parity (EXPERIMENTS.md).
+
+// xcorrGeom validates a depth-wise correlation and returns its geometry.
+func xcorrGeom(z, x *tensor.Tensor) (c, hz, wz, hx, wx, oh, ow int, err error) {
+	if z.Rank() != 3 || x.Rank() != 3 {
+		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("track: xcorr wants [C,h,w] operands, got %v and %v", z.Shape(), x.Shape())
+	}
+	c, hz, wz = z.Dim(0), z.Dim(1), z.Dim(2)
+	cx, hxx, wxx := x.Dim(0), x.Dim(1), x.Dim(2)
+	if c != cx {
+		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("track: xcorr channel mismatch %d vs %d", c, cx)
+	}
+	hx, wx = hxx, wxx
+	oh, ow = hx-hz+1, wx-wz+1
+	if oh <= 0 || ow <= 0 {
+		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("track: exemplar %v larger than search %v", z.Shape(), x.Shape())
+	}
+	return c, hz, wz, hx, wx, oh, ow, nil
+}
+
+// xcorrScratch holds the per-call lowering buffers. Steady-state tracking
+// reuses them through a free list instead of allocating per frame.
+type xcorrScratch struct {
+	col  *tensor.Tensor // [hz*wz, oh*ow] float patch matrix
+	zi8 []int8  // quantized exemplar codes
+	xi8 []int8  // quantized search codes
+	ci8 []int8  // int8 patch matrix
+	acc []int32 // int32 accumulators, one response plane
+}
+
+var xcorrFree = struct {
+	mu   sync.Mutex
+	list []*xcorrScratch
+}{}
+
+func getXCorrScratch() *xcorrScratch {
+	xcorrFree.mu.Lock()
+	defer xcorrFree.mu.Unlock()
+	if n := len(xcorrFree.list); n > 0 {
+		s := xcorrFree.list[n-1]
+		xcorrFree.list = xcorrFree.list[:n-1]
+		return s
+	}
+	return &xcorrScratch{}
+}
+
+func putXCorrScratch(s *xcorrScratch) {
+	xcorrFree.mu.Lock()
+	xcorrFree.list = append(xcorrFree.list, s)
+	xcorrFree.mu.Unlock()
+}
+
 // DWXCorr computes the depth-wise cross-correlation of exemplar features z
 // [C,hz,wz] against search features x [C,hx,wx]: each channel of z slides
 // over the same channel of x, producing [C, hx-hz+1, wx-wz+1]. This is the
-// correlation SiamRPN++ introduced to keep channel identity.
+// correlation SiamRPN++ introduced to keep channel identity. Shape errors
+// panic; service code paths use DWXCorrE instead.
 func DWXCorr(z, x *tensor.Tensor) *tensor.Tensor {
-	c, hz, wz := z.Dim(0), z.Dim(1), z.Dim(2)
-	cx, hx, wx := x.Dim(0), x.Dim(1), x.Dim(2)
-	if c != cx {
-		panic(fmt.Sprintf("track: xcorr channel mismatch %d vs %d", c, cx))
+	out, err := DWXCorrE(z, x)
+	if err != nil {
+		panic(err.Error())
 	}
-	oh, ow := hx-hz+1, wx-wz+1
-	if oh <= 0 || ow <= 0 {
-		panic(fmt.Sprintf("track: exemplar %v larger than search %v", z.Shape(), x.Shape()))
+	return out
+}
+
+// DWXCorrE is DWXCorr with shape errors returned instead of panicking —
+// the form the tracking service calls, where a malformed session request
+// must become a 400, not kill a worker.
+func DWXCorrE(z, x *tensor.Tensor) (*tensor.Tensor, error) {
+	c, hz, wz, hx, wx, oh, ow, err := xcorrGeom(z, x)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(c, oh, ow)
+	s := getXCorrScratch()
+	k, n := hz*wz, oh*ow
+	if s.col == nil || s.col.Dim(0) != k || s.col.Dim(1) != n {
+		s.col = tensor.New(k, n)
+	}
+	for ch := 0; ch < c; ch++ {
+		// One channel is a 1-input-channel convolution: im2col the search
+		// plane, multiply by the exemplar row. m=1 GEMMs sit below the
+		// blocked crossover and run on the naive reference kernel, which
+		// shares the ascending-k accumulation order — the dispatch seam
+		// decides, exactly as for every other MatMul in the repo.
+		plane := tensor.FromSlice(x.Data[ch*hx*wx:(ch+1)*hx*wx], 1, hx, wx)
+		tensor.Im2Col(s.col, plane, hz, wz, 1, 0)
+		zrow := tensor.FromSlice(z.Data[ch*k:(ch+1)*k], 1, k)
+		orow := tensor.FromSlice(out.Data[ch*n:(ch+1)*n], 1, n)
+		tensor.MatMulInto(orow, zrow, s.col)
+	}
+	putXCorrScratch(s)
+	return out, nil
+}
+
+// DWXCorrNaive is the reference triple-loop lowering, retained as the
+// oracle the GEMM and int8 routes are tested against.
+func DWXCorrNaive(z, x *tensor.Tensor) (*tensor.Tensor, error) {
+	c, hz, wz, hx, wx, oh, ow, err := xcorrGeom(z, x)
+	if err != nil {
+		return nil, err
 	}
 	out := tensor.New(c, oh, ow)
 	for ch := 0; ch < c; ch++ {
@@ -47,7 +157,84 @@ func DWXCorr(z, x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return out
+	return out, nil
+}
+
+// quantizeSym quantizes src into int8 codes with a symmetric per-tensor
+// scale (maxAbs/127) and returns the scale. An all-zero tensor gets scale
+// 1 so dequantization stays finite.
+func quantizeSym(dst []int8, src []float32) float32 {
+	var maxAbs float32
+	for _, v := range src {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 1
+	}
+	scale := maxAbs / 127
+	inv := 1 / float64(scale)
+	for i, v := range src {
+		// Round half to even, the quantized engine's convention
+		// (quant.quantizeInto), so ties carry no directional bias.
+		q := math.RoundToEven(float64(v) * inv)
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// DWXCorrInt8 computes the depth-wise cross-correlation through the int8
+// engine: per-tensor symmetric quantization of both operands, int8 im2col,
+// the int8×int8→int32 GEMM, and a dequantizing epilogue. The response is
+// an approximation of the float path whose AO/SR parity is measured in
+// EXPERIMENTS.md; exact integer accumulation makes it bitwise
+// deterministic across kernels and worker counts.
+func DWXCorrInt8(z, x *tensor.Tensor) (*tensor.Tensor, error) {
+	c, hz, wz, hx, wx, oh, ow, err := xcorrGeom(z, x)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(c, oh, ow)
+	s := getXCorrScratch()
+	k, n := hz*wz, oh*ow
+	if len(s.zi8) < c*k {
+		s.zi8 = make([]int8, c*k)
+	}
+	if len(s.xi8) < c*hx*wx {
+		s.xi8 = make([]int8, c*hx*wx)
+	}
+	if len(s.ci8) < k*n {
+		s.ci8 = make([]int8, k*n)
+	}
+	if len(s.acc) < n {
+		s.acc = make([]int32, n)
+	}
+	zScale := quantizeSym(s.zi8[:c*k], z.Data)
+	xScale := quantizeSym(s.xi8[:c*hx*wx], x.Data)
+	mult := zScale * xScale
+	for ch := 0; ch < c; ch++ {
+		tensor.Int8Im2Col(s.ci8[:k*n], s.xi8[ch*hx*wx:(ch+1)*hx*wx], 1, hx, wx, hz, wz, 1, 0)
+		tensor.Int8GEMMInto(s.acc[:n], s.zi8[ch*k:(ch+1)*k], s.ci8[:k*n], 1, n, k)
+		od := out.Data[ch*n : (ch+1)*n]
+		for i, a := range s.acc[:n] {
+			od[i] = float32(a) * mult
+		}
+	}
+	putXCorrScratch(s)
+	return out, nil
 }
 
 // DWXCorrBackward propagates the response gradient to the search features
@@ -55,9 +242,23 @@ func DWXCorr(z, x *tensor.Tensor) *tensor.Tensor {
 // standard Siamese simplification): dx[c, y+ky, x+kx] += dresp[c,y,x] *
 // z[c,ky,kx].
 func DWXCorrBackward(z, x, dresp *tensor.Tensor) *tensor.Tensor {
-	c, hz, wz := z.Dim(0), z.Dim(1), z.Dim(2)
-	hx, wx := x.Dim(1), x.Dim(2)
-	oh, ow := dresp.Dim(1), dresp.Dim(2)
+	dx, err := DWXCorrBackwardE(z, x, dresp)
+	if err != nil {
+		panic(err.Error())
+	}
+	return dx
+}
+
+// DWXCorrBackwardE is DWXCorrBackward with shape errors returned instead
+// of panicking.
+func DWXCorrBackwardE(z, x, dresp *tensor.Tensor) (*tensor.Tensor, error) {
+	c, hz, wz, hx, wx, oh, ow, err := xcorrGeom(z, x)
+	if err != nil {
+		return nil, err
+	}
+	if dresp.Rank() != 3 || dresp.Dim(0) != c || dresp.Dim(1) != oh || dresp.Dim(2) != ow {
+		return nil, fmt.Errorf("track: xcorr gradient shape %v, want [%d %d %d]", dresp.Shape(), c, oh, ow)
+	}
 	dx := tensor.New(c, hx, wx)
 	for ch := 0; ch < c; ch++ {
 		zd := z.Data[ch*hz*wz:]
@@ -79,5 +280,5 @@ func DWXCorrBackward(z, x, dresp *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return dx
+	return dx, nil
 }
