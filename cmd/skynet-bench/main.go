@@ -222,11 +222,43 @@ func main() {
 		which      = flag.Bool("which", false, "print the dispatched kernel names and exit")
 		trackOut   = flag.String("track-out", "", "record the tracking baseline (xcorr backends) to this file instead")
 		trackSteps = flag.Int("track-steps", 240, "tracker training steps for -track-out")
+
+		serveOut      = flag.String("serve-out", "", "record the fleet-serving baseline (scenario suite) to this file instead")
+		serveClients  = flag.Int("serve-clients", 6400, "peak concurrent clients for -serve-out (100x the PR-3 integration scale)")
+		serveReplicas = flag.Int("serve-replicas", 0, "replica count for -serve-out (0 = NumCPU, floored at 2, capped at 8)")
+		serveSLO      = flag.Float64("serve-slo", 1000, "success-latency p99 budget in ms at peak for -serve-out")
 	)
 	flag.Parse()
 
 	if *which {
 		fmt.Printf("float32 kernel: %s\nint8 kernel:    %s\n", tensor.KernelName(), tensor.Int8KernelName())
+		return
+	}
+
+	if *serveOut != "" {
+		base, err := benchServe(*serveClients, *serveReplicas, *serveSLO)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*serveOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if !base.Identical {
+			fmt.Fprintf(os.Stderr, "skynet-bench: serve: %d-replica responses differ from 1-replica\n", base.Replicas)
+			os.Exit(1)
+		}
+		if !base.SLOMet {
+			fmt.Fprintf(os.Stderr, "skynet-bench: serve: success p99 exceeded %.0fms at %d clients\n", *serveSLO, *serveClients)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -49,12 +49,14 @@ func main() {
 		relu6   = flag.Bool("relu6", true, "activation the weights were trained with")
 		width   = flag.Float64("width", 0.25, "width multiplier the weights were trained with")
 
-		addr    = flag.String("addr", ":8080", "HTTP listen address")
-		batch   = flag.Int("batch", 8, "inference micro-batch cap")
-		delayMS = flag.Int("maxdelay", 2, "max milliseconds a partial inference batch waits")
-		queue   = flag.Int("queue", 64, "admission queue depth (overflow sheds with 429)")
-		timeout = flag.Duration("timeout", 5*time.Second, "per-request deadline when the client sets none")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		batch    = flag.Int("batch", 8, "inference micro-batch cap")
+		delayMS  = flag.Int("maxdelay", 2, "max milliseconds a partial inference batch waits")
+		queue    = flag.Int("queue", 64, "per-replica admission queue depth (overflow sheds with 429)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline when the client sets none")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
+		replicas = flag.Int("replicas", 0, "model replicas behind the content-hash router (0 = NumCPU capped at 8)")
+		cacheN   = flag.Int("cache", 4096, "response cache entries keyed on frame hash (negative disables)")
 
 		withTrack  = flag.Bool("track", false, "co-host the tracking service (/track/*) beside detection")
 		trackSteps = flag.Int("track-steps", 300, "tracker training steps for -track")
@@ -70,28 +72,55 @@ func main() {
 	)
 	flag.Parse()
 
-	g, head, err := loadModel(*ckpt, *weights, *variant, *width, *relu6)
-	if err != nil {
+	// factoryFor builds one private replica per call: each replica owns its
+	// model instance and reuse buffers, which is what lets N inference
+	// workers run concurrently, and what a hot-swap rebuilds per generation.
+	factoryFor := func(ckptPath string, doQuant bool, calib int) serve.ModelFactory {
+		return func() (detect.Model, *detect.Head, error) {
+			g, head, err := loadModel(ckptPath, *weights, *variant, *width, *relu6)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !doQuant {
+				return g, head, nil
+			}
+			qm, err := quantizeModel(g, *imgW, *imgH, calib, *calibPct)
+			if err != nil {
+				return nil, nil, err
+			}
+			return qm, head, nil
+		}
+	}
+	if _, _, err := loadModel(*ckpt, *weights, *variant, *width, *relu6); err != nil {
 		fmt.Fprintf(os.Stderr, "skynet-serve: %v\n", err)
 		os.Exit(1)
 	}
-	var model detect.Model = g
 	if *quantize {
-		qm, err := quantizeModel(g, *imgW, *imgH, *calibN, *calibPct)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "skynet-serve: quantize: %v\n", err)
-			os.Exit(1)
-		}
-		i8, fb, fused := qm.Stats()
-		fmt.Printf("skynet-serve: int8 lowering: %d int8 units, %d float fallback, %d nodes fused\n", i8, fb, fused)
-		model = qm
+		fmt.Printf("skynet-serve: serving the int8 lowering (calib %d scenes)\n", *calibN)
 	}
 
-	srv, err := serve.New(model, head, serve.Config{
-		MaxBatch:       *batch,
-		MaxDelay:       time.Duration(*delayMS) * time.Millisecond,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
+	srv, err := serve.NewPool(factoryFor(*ckpt, *quantize, *calibN), serve.PoolConfig{
+		Replicas:     *replicas,
+		CacheEntries: *cacheN,
+		Replica: serve.Config{
+			MaxBatch:       *batch,
+			MaxDelay:       time.Duration(*delayMS) * time.Millisecond,
+			QueueDepth:     *queue,
+			RequestTimeout: *timeout,
+			Channels:       3,
+		},
+		// POST /admin/swap: load the named checkpoint (optionally lowered
+		// to int8) as the next replica generation and cut over under load.
+		SwapLoader: func(req serve.SwapRequest) (serve.ModelFactory, error) {
+			if req.Ckpt == "" {
+				return nil, errors.New("swap request needs a ckpt")
+			}
+			calib := req.Calib
+			if calib <= 0 {
+				calib = *calibN
+			}
+			return factoryFor(req.Ckpt, req.Quantize, calib), nil
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skynet-serve: %v\n", err)
@@ -113,15 +142,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("skynet-serve: listening on %s (batch<=%d, delay %dms, queue %d)\n",
-		*addr, *batch, *delayMS, *queue)
+	fmt.Printf("skynet-serve: listening on %s (%d replicas, batch<=%d, delay %dms, queue %d, cache %d)\n",
+		*addr, srv.Replicas(), *batch, *delayMS, *queue, *cacheN)
 	if err := srv.ListenAndServe(ctx, *addr, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "skynet-serve: %v\n", err)
 		os.Exit(1)
 	}
 	m := srv.Metrics()
-	fmt.Printf("skynet-serve: drained cleanly — served %d, failed %d, rejected %d, mean batch %.2f\n",
-		m.Served, m.Failed, m.Rejected, m.MeanBatchSize)
+	fmt.Printf("skynet-serve: drained cleanly — served %d (+%d cached), failed %d, rejected %d, swaps %d\n",
+		m.Served, m.CacheServed, m.Failed, m.Rejected, m.Swaps)
 	if ts != nil {
 		dctx, cancel := context.WithTimeout(context.Background(), *drain)
 		_ = ts.Drain(dctx)

@@ -44,15 +44,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	box, conf, err := s.Submit(r.Context(), img)
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, ErrOverloaded):
-			status = http.StatusTooManyRequests
+		status := detectStatus(err)
+		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", retryAfter(s))
-		case errors.Is(err, ErrDraining):
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			status = http.StatusGatewayTimeout
 		}
 		writeError(w, status, err)
 		return
@@ -93,6 +87,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ok\n"))
+}
+
+// detectStatus maps detection-path errors onto HTTP statuses; shared by the
+// single-server and pool front ends.
+func detectStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

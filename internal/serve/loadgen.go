@@ -14,7 +14,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -73,6 +75,108 @@ func (r LoadReport) Errors() []LoadResult {
 		}
 	}
 	return out
+}
+
+// LatencyTally is exact (sorted, not bucketed) latency percentiles over one
+// outcome class, in milliseconds.
+type LatencyTally struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// tallyLatencies computes one class's digest. The input is sorted in place.
+func tallyLatencies(lat []time.Duration) LatencyTally {
+	if len(lat) == 0 {
+		return LatencyTally{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	// rank-⌈q·n⌉, matching the serving histogram's convention: the reported
+	// quantile is an upper bound on at least q·n observations.
+	at := func(q float64) float64 {
+		rank := int(math.Ceil(q * float64(len(lat))))
+		if rank < 1 {
+			rank = 1
+		}
+		return lat[rank-1].Seconds() * 1e3
+	}
+	return LatencyTally{
+		Count:  len(lat),
+		MeanMS: (sum / time.Duration(len(lat))).Seconds() * 1e3,
+		P50MS:  at(0.50),
+		P95MS:  at(0.95),
+		P99MS:  at(0.99),
+		MaxMS:  lat[len(lat)-1].Seconds() * 1e3,
+	}
+}
+
+// LoadSummary classifies a run's outcomes with per-class latency tallies.
+// Shed (429) and deadline (504) responses are tallied in their own classes
+// and can never pollute the success percentiles: a shed request resolves in
+// microseconds and a deadline request resolves at exactly the timeout, and
+// folding either into the success histogram used to make the "p99" either
+// flatter or exactly the deadline — both lies about what a successful
+// caller experiences.
+type LoadSummary struct {
+	// Offered is every request fired, across classes.
+	Offered int `json:"offered"`
+	// OK counts 200s; Shed 429s; Deadline 504s; Unavailable 503s; BadInput
+	// 400s; OtherHTTP every remaining status; Transport connection-level
+	// failures (which have no meaningful HTTP latency class).
+	OK          int `json:"ok"`
+	Shed        int `json:"shed"`
+	Deadline    int `json:"deadline"`
+	Unavailable int `json:"unavailable"`
+	BadInput    int `json:"bad_input"`
+	OtherHTTP   int `json:"other_http"`
+	Transport   int `json:"transport"`
+
+	// Success is the 200-only latency digest — the SLO metric.
+	Success LatencyTally `json:"success"`
+	// ShedLatency and DeadlineLatency keep their classes observable
+	// (admission rejections should be fast; deadlines should cluster at
+	// the configured timeout).
+	ShedLatency     LatencyTally `json:"shed_latency"`
+	DeadlineLatency LatencyTally `json:"deadline_latency"`
+}
+
+// Summary tallies the report per outcome class.
+func (r LoadReport) Summary() LoadSummary {
+	var s LoadSummary
+	var ok, shed, dead []time.Duration
+	for _, res := range r.Results {
+		s.Offered++
+		switch {
+		case res.Err != nil:
+			s.Transport++
+		case res.Status == http.StatusOK:
+			s.OK++
+			ok = append(ok, res.Latency)
+		case res.Status == http.StatusTooManyRequests:
+			s.Shed++
+			shed = append(shed, res.Latency)
+		case res.Status == http.StatusGatewayTimeout:
+			s.Deadline++
+			dead = append(dead, res.Latency)
+		case res.Status == http.StatusServiceUnavailable:
+			s.Unavailable++
+		case res.Status == http.StatusBadRequest:
+			s.BadInput++
+		default:
+			s.OtherHTTP++
+		}
+	}
+	s.Success = tallyLatencies(ok)
+	s.ShedLatency = tallyLatencies(shed)
+	s.DeadlineLatency = tallyLatencies(dead)
+	return s
 }
 
 // Run fires the configured load and blocks until every request resolved

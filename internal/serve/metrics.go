@@ -172,6 +172,87 @@ func stageJSON(st pipeline.StageStats) pipelineStageJSON {
 	}
 }
 
+// PoolMetrics is one snapshot of the replica pool's counters: the fleet
+// aggregate, the routing tier, the response cache, and the per-replica
+// breakdowns.
+type PoolMetrics struct {
+	// Replicas is the active replica count; Generation the serving replica
+	// set's version; Swaps the number of completed hot-swaps.
+	Replicas   int   `json:"replicas"`
+	Generation int64 `json:"generation"`
+	Swaps      int64 `json:"swaps"`
+	Draining   bool  `json:"draining"`
+
+	// Served/Failed/Expired aggregate the active replicas' counters;
+	// CacheServed counts requests answered from the response cache without
+	// touching a replica (not included in Served).
+	Served      int64 `json:"served"`
+	Failed      int64 `json:"failed"`
+	Expired     int64 `json:"expired"`
+	CacheServed int64 `json:"cache_served"`
+
+	// Rejected counts requests shed with 429 after every replica refused;
+	// SiblingSheds requests whose full home replica spilled them to a
+	// sibling; SwapRetries requests that raced a swap and resubmitted on
+	// the new generation.
+	Rejected     int64 `json:"rejected"`
+	SiblingSheds int64 `json:"sibling_sheds"`
+	SwapRetries  int64 `json:"swap_retries"`
+
+	// Inflight is the number of HTTP requests currently holding an
+	// admission slot; InflightCap the fleet-wide bound (0 = unbounded).
+	Inflight    int `json:"inflight"`
+	InflightCap int `json:"inflight_cap"`
+
+	Cache CacheMetrics `json:"cache"`
+
+	// Latency is the pool-level success latency (cache hits included).
+	Latency LatencySummary `json:"latency"`
+
+	// ReplicaMetrics is each active replica's own Metrics snapshot.
+	ReplicaMetrics []Metrics `json:"replica_metrics"`
+
+	// Track is the attached tracking service's snapshot, when co-hosted.
+	Track *TrackMetrics `json:"track,omitempty"`
+}
+
+// Metrics snapshots the pool's observability counters.
+func (p *Pool) Metrics() PoolMetrics {
+	m := PoolMetrics{
+		Generation:   p.Generation(),
+		Swaps:        p.swaps.Load(),
+		Draining:     p.Draining(),
+		CacheServed:  p.cacheServed.Load(),
+		Rejected:     p.rejected.Load(),
+		SiblingSheds: p.siblingSheds.Load(),
+		SwapRetries:  p.swapRetries.Load(),
+		Inflight:     len(p.inflight),
+		InflightCap:  cap(p.inflight),
+		Cache:        p.cache.stats(),
+		Latency: LatencySummary{
+			MeanMS: p.hist.mean().Seconds() * 1e3,
+			P50MS:  p.hist.quantile(0.50).Seconds() * 1e3,
+			P95MS:  p.hist.quantile(0.95).Seconds() * 1e3,
+			P99MS:  p.hist.quantile(0.99).Seconds() * 1e3,
+		},
+	}
+	if g := p.gen.Load(); g != nil {
+		m.Replicas = len(g.replicas)
+		for _, r := range g.replicas {
+			rm := r.Metrics()
+			m.Served += rm.Served
+			m.Failed += rm.Failed
+			m.Expired += rm.Expired
+			m.ReplicaMetrics = append(m.ReplicaMetrics, rm)
+		}
+	}
+	if p.track != nil {
+		tm := p.track.Metrics()
+		m.Track = &tm
+	}
+	return m
+}
+
 // Metrics snapshots the server's observability counters.
 func (s *Server) Metrics() Metrics {
 	m := Metrics{

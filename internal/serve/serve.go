@@ -33,6 +33,10 @@ var (
 	ErrDraining = errors.New("serve: draining")
 	// ErrInference wraps a failed (or panicked) inference stage (HTTP 500).
 	ErrInference = errors.New("serve: inference failed")
+	// ErrBadInput wraps a request rejected by pre-process validation (bad
+	// rank, wrong channel count) — the caller's fault (HTTP 400), never a
+	// server failure.
+	ErrBadInput = errors.New("serve: bad input")
 )
 
 // Config tunes a Server. The zero value selects serving-appropriate
@@ -54,6 +58,11 @@ type Config struct {
 	// RequestTimeout is the per-request deadline applied when the caller's
 	// context has none; 0 selects 5s. Negative disables the default.
 	RequestTimeout time.Duration
+	// Channels, when positive, rejects images whose channel count differs
+	// at pre-process with ErrBadInput (HTTP 400) — without it a wrong-shape
+	// frame reaches the model and fails as a 500-class inference error. 0
+	// accepts any channel count (models like the test stubs don't care).
+	Channels int
 }
 
 func (c *Config) normalize() {
@@ -157,7 +166,12 @@ func New(m detect.Model, h *detect.Head, cfg Config) (*Server, error) {
 			Proc: func(_ context.Context, v any) (any, error) {
 				req := v.(*request)
 				if req.live() {
-					req.err = detect.Preprocess(req.frame)
+					if err := detect.Preprocess(req.frame); err != nil {
+						req.err = fmt.Errorf("%w: %v", ErrBadInput, err)
+					} else if c := cfg.Channels; c > 0 && req.frame.Image.Dim(0) != c {
+						req.err = fmt.Errorf("%w: image has %d channels, want %d",
+							ErrBadInput, req.frame.Image.Dim(0), c)
+					}
 				}
 				return req, nil
 			},
