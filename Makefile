@@ -5,7 +5,7 @@ GO ?= go
 # the production HTTP surface (pool, router, swap, cache, scenarios) and is
 # held to a higher floor than the rest.
 COVER_FLOOR ?= 60
-COVER_PKGS  ?= ./internal/serve:70 ./internal/pipeline:$(COVER_FLOOR) ./internal/detect:$(COVER_FLOOR) ./internal/quant:$(COVER_FLOOR) ./internal/track:$(COVER_FLOOR)
+COVER_PKGS  ?= ./internal/serve:70 ./internal/analysis:75 ./internal/pipeline:$(COVER_FLOOR) ./internal/detect:$(COVER_FLOOR) ./internal/quant:$(COVER_FLOOR) ./internal/track:$(COVER_FLOOR)
 
 .PHONY: all build binaries vet lint test short race purego arm64 bench bench-quant bench-track bench-serve bench-json cover check ci
 
@@ -27,10 +27,17 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own static-analysis pass (cmd/skynet-lint): the
-# determinism, float-hygiene, hot-path-allocation and error-discipline
-# checkers over every package. Zero unwaived findings is a CI gate.
+# determinism, float-hygiene, error-discipline checkers plus the
+# interprocedural hotcall/lockheld/ctxflow set over every package. Zero
+# unwaived findings is a CI gate. The wall time is printed so a call-graph
+# performance regression shows up in `make ci` output, not just in lost
+# inner-loop seconds.
 lint:
-	$(GO) run ./cmd/skynet-lint ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/skynet-lint ./... ; status=$$?; \
+	end=$$(date +%s); \
+	echo "lint wall time: $$((end-start))s"; \
+	exit $$status
 
 # -shuffle=on randomizes test (and subtest-sibling) execution order each
 # run, so inter-test state dependencies surface in CI instead of in prod.
@@ -44,11 +51,12 @@ short:
 
 # race runs the concurrency-bearing packages under the race detector: the
 # parallel GEMM/conv kernels, the streaming pipeline executor (plus its
-# detect-stage adapters), the batching HTTP server, and the stateful
-# tracking service with its session table. The tests force multi-worker
-# execution even on one CPU.
+# detect-stage adapters), the batching HTTP server, the stateful tracking
+# service with its session table, and the analysis framework (whose lazy
+# Module state is shared across checker passes). The tests force
+# multi-worker execution even on one CPU.
 race:
-	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/... ./internal/serve/... ./internal/track/...
+	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/... ./internal/serve/... ./internal/track/... ./internal/analysis/...
 
 # purego runs the kernel-bearing packages with the assembly micro-kernels
 # compiled out, so the portable fallback (and its dispatch seam) cannot

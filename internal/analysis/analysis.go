@@ -2,13 +2,20 @@
 // the checkers that machine-enforce this repository's correctness
 // disciplines: reproducible randomness (globalrand), order-stable float
 // reductions (maporder, floateq), the zero-allocation hot-path contract
-// established by the GEMM/conv work (hotalloc), no silently dropped
-// errors (errdrop), and a package doc comment on every package (pkgdoc).
+// established by the GEMM/conv work (hotalloc) and its transitive
+// closure over the module call graph (hotcall), no blocking operations
+// under a held mutex (lockheld), context propagation through the
+// serving layers (ctxflow), no silently dropped errors (errdrop), and a
+// package doc comment on every package (pkgdoc).
 //
 // The framework loads every package of the module with go/parser and
 // type-checks it with go/types against compiled export data (see load.go),
-// then runs pluggable checkers over each package. Findings can be waived
-// in source with
+// builds a module-wide call graph (callgraph.go: static calls,
+// devirtualized methods, conservative in-module interface fan-out,
+// package-level func-var resolution; see DESIGN.md §14 for the soundness
+// caveats), then runs pluggable checkers over each package. Diagnostics
+// are sorted by (file, line, col, checker, message) so output is
+// byte-identical across runs. Findings can be waived in source with
 //
 //	//skynet:nolint checker1,checker2 -- reason
 //
@@ -18,7 +25,8 @@
 //
 //	//skynet:hotpath
 //
-// doc-comment line opt in to the hotalloc checker's allocation ban.
+// doc-comment line opt in to the hotalloc checker's allocation ban and
+// serve as roots for the hotcall checker's reachability closure.
 package analysis
 
 import (
@@ -29,6 +37,7 @@ import (
 	"io"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding.
@@ -54,7 +63,7 @@ type Checker struct {
 }
 
 // All lists every registered checker in output order.
-var All = []*Checker{GlobalRand, MapOrder, FloatEq, HotAlloc, ErrDrop, PkgDoc}
+var All = []*Checker{GlobalRand, MapOrder, FloatEq, HotAlloc, HotCall, LockHeld, CtxFlow, ErrDrop, PkgDoc}
 
 // ByName resolves a checker by its name.
 func ByName(name string) *Checker {
@@ -66,9 +75,36 @@ func ByName(name string) *Checker {
 	return nil
 }
 
+// Module is the shared whole-run state: every loaded package plus the
+// lazily-built call graph and the analyses derived from it. Interprocedural
+// checkers (hotcall, lockheld) reach it through Pass.Mod; the lazy build
+// keeps single-checker runs that never ask for the graph free.
+type Module struct {
+	Pkgs []*Package
+
+	graphOnce sync.Once
+	graph     *CallGraph
+
+	hotOnce sync.Once
+	hotSet  map[string]*hotReach
+}
+
+// Graph returns the module-wide call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() { m.graph = buildCallGraph(m.Pkgs) })
+	return m.graph
+}
+
+// hotClosureOnce caches the hotpath transitive-closure analysis.
+func (m *Module) hotClosureOnce() map[string]*hotReach {
+	m.hotOnce.Do(func() { m.hotSet = hotClosure(m) })
+	return m.hotSet
+}
+
 // Pass is the per-(package, checker) context handed to Checker.Run.
 type Pass struct {
 	Pkg     *Package
+	Mod     *Module
 	checker *Checker
 	sink    func(Diagnostic)
 }
@@ -86,10 +122,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run executes the checkers over the packages, applies nolint waivers,
-// and returns the surviving diagnostics sorted by file, line and checker.
+// and returns the surviving diagnostics in the canonical (file, line,
+// col, checker, message) order. The sort lives here at the framework
+// level — not per checker — so output is byte-identical across runs and
+// GOMAXPROCS values even now that checkers share call-graph state.
 // Malformed waiver comments (missing checker list or missing ` -- reason`)
 // are themselves reported and cannot be waived.
 func Run(pkgs []*Package, checkers []*Checker) []Diagnostic {
+	mod := &Module{Pkgs: pkgs}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		waivers, malformed := collectWaivers(pkg)
@@ -99,7 +139,7 @@ func Run(pkgs []*Package, checkers []*Checker) []Diagnostic {
 			}
 		}
 		for _, c := range checkers {
-			c.Run(&Pass{Pkg: pkg, checker: c, sink: sink})
+			c.Run(&Pass{Pkg: pkg, Mod: mod, checker: c, sink: sink})
 		}
 		diags = append(diags, malformed...)
 	}
@@ -114,7 +154,10 @@ func Run(pkgs []*Package, checkers []*Checker) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Checker < b.Checker
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }

@@ -1,0 +1,74 @@
+package analysis
+
+// Golden snapshot of the call graph over the fixture package: every edge,
+// how it was resolved, and the deterministic order. Pinning the exact
+// rendering catches both resolution regressions (a devirtualized call
+// decaying to dynamic) and nondeterminism (map-order leaks into Keys or
+// edge lists).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCallGraphSnapshot(t *testing.T) {
+	pkg, err := testLoader().LoadDir("testdata/src/callgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	g := buildCallGraph([]*Package{pkg})
+
+	var b strings.Builder
+	for _, key := range g.Keys() {
+		for _, e := range g.NodeByKey(key).Calls {
+			callee := e.Callee
+			if callee == "" {
+				callee = "?"
+			}
+			fmt.Fprintf(&b, "%s -> %s [%s]\n", shortKey(key), shortKey(callee), e.Kind)
+		}
+	}
+
+	want := `callgraph.Dynamic -> ? [dynamic]
+callgraph.FuncVar -> callgraph.leaf [funcvar]
+callgraph.Iface -> callgraph.bell.Ring [interface]
+callgraph.Iface -> callgraph.horn.Ring [interface]
+callgraph.Method -> callgraph.bell.Ring [static]
+callgraph.Static -> callgraph.leaf [static]
+`
+	if got := b.String(); got != want {
+		t.Errorf("call graph snapshot mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Every declared function has a node, leaves included.
+	for _, fn := range []string{
+		"testdata/callgraph.leaf",
+		"testdata/callgraph.bell.Ring",
+		"testdata/callgraph.horn.Ring",
+	} {
+		if g.NodeByKey(fn) == nil {
+			t.Errorf("no node for %s", fn)
+		}
+	}
+}
+
+func TestCallGraphDeterministic(t *testing.T) {
+	pkg, err := testLoader().LoadDir("testdata/src/callgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	render := func(g *CallGraph) string {
+		var b strings.Builder
+		for _, key := range g.Keys() {
+			fmt.Fprintf(&b, "%s:%d\n", key, len(g.NodeByKey(key).Calls))
+		}
+		return b.String()
+	}
+	first := render(buildCallGraph([]*Package{pkg}))
+	for i := 0; i < 5; i++ {
+		if got := render(buildCallGraph([]*Package{pkg})); got != first {
+			t.Fatalf("rebuild %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}

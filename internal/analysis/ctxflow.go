@@ -1,0 +1,259 @@
+package analysis
+
+// ctxflow enforces context propagation in the request-path packages
+// (internal/serve, internal/pipeline). A request's context carries its
+// deadline and cancellation; a callee invoked with context.Background()
+// instead of the caller's context silently detaches from both, which in a
+// serving stack means work that outlives its client and deadlines that
+// never fire. Two rules:
+//
+//  1. A function that receives a context.Context must forward it (or a
+//     context derived from it — context.WithTimeout(ctx, …) and friends,
+//     including through intermediate locals) to every callee that accepts
+//     a context.
+//  2. context.Background() and context.TODO() are banned outside main
+//     packages and tests; a bootstrap site that genuinely wants a fresh
+//     root context documents itself with a waiver.
+//
+// Derivation tracking is a small intra-function fixpoint: the parameter
+// starts the derived set, and any variable assigned from an expression
+// mentioning a derived variable joins it. Contexts stored in struct
+// fields are not tracked (a field read is not considered derived), which
+// deliberately flags request handlers that reach for a server-lifetime
+// context where the request's own is in scope.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflowPackages are the import-path suffixes the checker applies to:
+// the request-path packages plus the checker's own testdata fixture.
+var ctxflowPackages = []string{
+	"internal/serve",
+	"internal/pipeline",
+	"testdata/ctxflow",
+}
+
+// CtxFlow enforces context propagation in request-path packages.
+var CtxFlow = &Checker{
+	Name: "ctxflow",
+	Doc:  "in request-path packages, a received context.Context must flow to every context-accepting callee; Background/TODO are banned outside main and tests",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if !ctxflowApplies(p.Pkg) {
+		return
+	}
+	info := p.Pkg.Info
+	inspect(p.Pkg.Files, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || isTestFile(p.Pkg.Fset, fd.Pos()) {
+			return true
+		}
+		checkCtxRoots(p, fd)
+		if param := ctxParam(info, fd); param != nil {
+			checkCtxForwarding(p, fd, param)
+		}
+		return false
+	})
+}
+
+func ctxflowApplies(pkg *Package) bool {
+	for _, suffix := range ctxflowPackages {
+		if strings.HasSuffix(pkg.Path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxRoots flags context.Background() / context.TODO() calls. The
+// request-path packages are never package main, so inside them every
+// fresh root context needs a waiver naming why it must detach.
+func checkCtxRoots(p *Pass, fd *ast.FuncDecl) {
+	if p.Pkg.Files[0].Name.Name == "main" {
+		return
+	}
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(info, call.Fun)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if name := fn.Name(); name == "Background" || name == "TODO" {
+			p.Reportf(call.Pos(), "context.%s() in request-path function %s detaches from the caller's deadline and cancellation; thread a context or waive the bootstrap site",
+				name, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// ctxParam returns the function's first context.Context parameter, nil if
+// it has none.
+func ctxParam(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok && isContextType(v.Type()) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	return namedTypeName(t) == "context.Context"
+}
+
+// checkCtxForwarding demands that every call to a context-accepting
+// callee inside fd receives a context derived from fd's own parameter.
+func checkCtxForwarding(p *Pass, fd *ast.FuncDecl, param *types.Var) {
+	info := p.Pkg.Info
+	derived := derivedCtxObjects(info, fd, param)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		i, callee := ctxArgIndex(info, call)
+		if i < 0 || i >= len(call.Args) {
+			return true
+		}
+		if mentionsAny(info, call.Args[i], derived) {
+			return true
+		}
+		// An argument built on context.Background()/TODO() is rule 2's
+		// problem; rule 2 flags the root construction once rather than
+		// re-flagging every site the detached context flows into.
+		if mentionsCtxRoot(info, call.Args[i]) {
+			return true
+		}
+		p.Reportf(call.Args[i].Pos(), "%s receives ctx but passes a different context to %s; forward ctx (or a context derived from it)",
+			fd.Name.Name, callee)
+		return true
+	})
+}
+
+// derivedCtxObjects computes the set of variables holding a context
+// derived from param: the param itself, plus (to a fixpoint) every
+// variable assigned from an expression that mentions a derived variable.
+func derivedCtxObjects(info *types.Info, fd *ast.FuncDecl, param *types.Var) map[types.Object]bool {
+	derived := map[types.Object]bool{param: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// Both v := expr and v = expr; for tuple assignments every LHS
+			// context-typed variable fed by a derived RHS joins the set.
+			rhsDerived := false
+			for _, rhs := range as.Rhs {
+				// Background()/TODO() count as derivation sources so the
+				// contexts built from them are charged once, at the root
+				// construction (rule 2), not at every downstream use.
+				if mentionsAny(info, rhs, derived) || mentionsCtxRoot(info, rhs) {
+					rhsDerived = true
+					break
+				}
+			}
+			if !rhsDerived {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok && isContextType(v.Type()) && !derived[v] {
+					derived[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// mentionsCtxRoot reports whether expr contains a call to
+// context.Background() or context.TODO().
+func mentionsCtxRoot(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := staticCallee(info, call.Fun); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsAny reports whether expr references any object in set.
+func mentionsAny(info *types.Info, expr ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ctxArgIndex returns the argument position of the callee's first
+// context.Context parameter and the callee's name, or (-1, "") when the
+// callee is unknown or takes no context. Interface-method callees count:
+// the signature is what matters, not the implementation.
+func ctxArgIndex(info *types.Info, call *ast.CallExpr) (int, string) {
+	var fn *types.Func
+	if f := staticCallee(info, call.Fun); f != nil {
+		fn = f
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			fn, _ = s.Obj().(*types.Func)
+		}
+	}
+	if fn == nil {
+		return -1, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1, ""
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i, fn.Name()
+		}
+	}
+	return -1, ""
+}

@@ -67,20 +67,30 @@ func isHotpath(fd *ast.FuncDecl) bool {
 }
 
 func checkHotBody(p *Pass, fd *ast.FuncDecl) {
-	info := p.Pkg.Info
 	name := fd.Name.Name
+	reportHotAllocs(p, fd, func(n ast.Node, what string) {
+		p.Reportf(n.Pos(), "%s in hotpath function %s", what, name)
+	})
+}
+
+// reportHotAllocs walks fd's body and invokes report for every construct
+// that heap-allocates on each execution, phrased as "<construct>
+// allocates"/"escapes". Shared by hotalloc (annotated functions) and
+// hotcall (functions reached transitively from annotated roots).
+func reportHotAllocs(p *Pass, fd *ast.FuncDecl, report func(n ast.Node, what string)) {
+	info := p.Pkg.Info
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			p.Reportf(n.Pos(), "closure literal allocates in hotpath function %s", name)
+			report(n, "closure literal allocates")
 			return false // inner allocations belong to the closure finding
 		case *ast.CallExpr:
 			if b := builtinName(info, n); b == "make" || b == "new" || b == "append" {
-				p.Reportf(n.Pos(), "%s allocates in hotpath function %s", b, name)
+				report(n, b+" allocates")
 			}
 		case *ast.UnaryExpr:
 			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
-				p.Reportf(cl.Pos(), "address-taken composite literal escapes in hotpath function %s", name)
+				report(cl, "address-taken composite literal escapes")
 				return false
 			}
 		case *ast.CompositeLit:
@@ -90,9 +100,9 @@ func checkHotBody(p *Pass, fd *ast.FuncDecl) {
 			}
 			switch t.Underlying().(type) {
 			case *types.Slice:
-				p.Reportf(n.Pos(), "slice literal allocates in hotpath function %s", name)
+				report(n, "slice literal allocates")
 			case *types.Map:
-				p.Reportf(n.Pos(), "map literal allocates in hotpath function %s", name)
+				report(n, "map literal allocates")
 			}
 		}
 		return true

@@ -1,0 +1,121 @@
+package analysis
+
+// hotcall closes the //skynet:hotpath contract over the call graph.
+// hotalloc (PR 4) bans allocations inside annotated functions, but only
+// inside them: an im2col helper, a requantize epilogue, or an xcorr pack
+// routine called from a hot function escaped the ban entirely because
+// nobody had annotated it. hotcall computes the transitive closure of
+// every annotated root over the call graph (static, devirtualized-method,
+// and function-variable edges — interface fan-out edges too, since a
+// conservative superset of callees can only over-enforce a *ban*) and,
+// for every reachable in-module function that is not itself annotated:
+//
+//   - demands the //skynet:hotpath annotation (so hotalloc and the human
+//     reader both see the contract), reporting the call chain that makes
+//     the function hot (`root → f → g`);
+//   - applies the hotalloc allocation ban to its body, again with the
+//     chain in the diagnostic.
+//
+// Reachable functions that *are* annotated are hotalloc's responsibility;
+// hotcall deliberately does not double-report them. Unresolved dynamic
+// edges (function values from parameters or fields) are not followed — a
+// documented soundness gap (DESIGN.md §14); the pipeline's per-stage Proc
+// values, for example, are user code by design and not part of the kernel
+// contract.
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// HotCall enforces the hotpath allocation ban transitively.
+var HotCall = &Checker{
+	Name: "hotcall",
+	Doc:  "function reachable from a //skynet:hotpath root must be annotated and allocation-free; diagnostics carry the call chain",
+	Run:  runHotCall,
+}
+
+// hotReach records how one unannotated function was reached.
+type hotReach struct {
+	node  *Node
+	chain string // "root → f → g", shortened keys
+}
+
+// hotClosure walks the hotpath closure once per module and caches the
+// unannotated-but-reachable set on the Module.
+func hotClosure(m *Module) map[string]*hotReach {
+	g := m.Graph()
+	reached := map[string]*hotReach{}
+	// parent chains: BFS from every root, in sorted key order so the
+	// first chain found for a shared callee is deterministic.
+	visited := map[string]bool{}
+	type qitem struct {
+		key   string
+		chain []string
+	}
+	var queue []qitem
+	for _, key := range g.Keys() {
+		if g.NodeByKey(key).Hot {
+			visited[key] = true
+			queue = append(queue, qitem{key: key, chain: []string{shortKey(key)}})
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		node := g.NodeByKey(it.key)
+		if node == nil {
+			continue
+		}
+		// Deduplicate multi-edges deterministically before following.
+		var callees []string
+		seen := map[string]bool{}
+		for _, e := range node.Calls {
+			if e.Callee == "" || e.Kind == EdgeDynamic {
+				continue
+			}
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				callees = append(callees, e.Callee)
+			}
+		}
+		sort.Strings(callees)
+		for _, callee := range callees {
+			if visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			cn := g.NodeByKey(callee)
+			if cn == nil { // out-of-module: the ban cannot see its body
+				continue
+			}
+			chain := append(append([]string{}, it.chain...), shortKey(callee))
+			if !cn.Hot && cn.Decl != nil {
+				reached[callee] = &hotReach{node: cn, chain: strings.Join(chain, " → ")}
+			}
+			// Annotated callees restart their own closure (they are roots
+			// themselves); either way keep walking.
+			queue = append(queue, qitem{key: callee, chain: chain})
+		}
+	}
+	return reached
+}
+
+func runHotCall(p *Pass) {
+	reached := p.Mod.hotClosureOnce()
+	// Report only the functions declared in this pass's package, in
+	// deterministic order (framework sorting handles final order anyway).
+	for _, r := range reached {
+		if r.node.Pkg != p.Pkg {
+			continue
+		}
+		fd := r.node.Decl
+		p.Reportf(fd.Name.Pos(), "%s is reachable from a hotpath root (%s) but lacks //skynet:hotpath; annotate it or waive with a reason",
+			fd.Name.Name, r.chain)
+		chain := r.chain
+		reportHotAllocs(p, fd, func(pos ast.Node, what string) {
+			p.Reportf(pos.Pos(), "%s in %s, which is on a hot call chain (%s)", what, fd.Name.Name, chain)
+		})
+	}
+}

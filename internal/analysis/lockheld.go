@@ -1,0 +1,382 @@
+package analysis
+
+// lockheld flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held. A channel operation, a defaultless select, a
+// sync.WaitGroup.Wait, a sync.Cond.Wait, or an HTTP response write under
+// a lock turns the lock into a convoy: every other goroutine contending
+// for it stalls behind an operation whose latency is unbounded (a full
+// channel, a slow client connection). The serving fleet's disciplines —
+// publish-then-drain pool swaps, per-session tracking locks — depend on
+// critical sections staying O(memory access), and this checker enforces
+// that statically instead of hoping a race test catches the convoy.
+//
+// Lock state is tracked lexically per function: a region opens at a
+// `mu.Lock()` / `mu.RLock()` statement and closes at the matching
+// `mu.Unlock()` / `mu.RUnlock()` at the same block level; `defer
+// mu.Unlock()` holds the lock for the remainder of the function. State
+// does not flow between functions (a function that locks and returns
+// locked is out of scope). Inside a held region the checker flags direct
+// blocking operations and calls into functions whose bodies block,
+// propagated one level through the call graph: a call to g is flagged if
+// g blocks directly or if g statically calls a function that blocks
+// directly. Goroutine spawns (`go f()`) and deferred calls are exempt —
+// the spawn itself does not block, and deferred calls run at return,
+// after unlock in the defer-unlock idiom.
+//
+// Known approximations: an Unlock inside a conditional branch does not
+// clear the parent scope's held state (restructure or waive), and
+// blocking hidden behind interface calls, function values, or more than
+// one static call level is not seen (see DESIGN.md §14).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags blocking operations while a mutex is held.
+var LockHeld = &Checker{
+	Name: "lockheld",
+	Doc:  "blocking operation (channel op, select, WaitGroup/Cond.Wait, HTTP write, call into a blocking function) while a sync mutex is held",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(p *Pass) {
+	graph := p.Mod.Graph()
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isTestFile(p.Pkg.Fset, fd.Pos()) {
+				continue
+			}
+			scanLockRegions(p, graph, fd.Body.List, nil)
+		}
+	}
+}
+
+// heldLock is one lexically-held mutex.
+type heldLock struct {
+	expr string // rendered receiver expression, e.g. "s.mu"
+	pos  token.Pos
+}
+
+// scanLockRegions walks a statement list in order, maintaining the set of
+// held mutexes, and checks every statement executed under a lock for
+// blocking operations. Nested blocks inherit a copy of the current held
+// set; their acquisitions do not leak back out (lexical approximation).
+func scanLockRegions(p *Pass, graph *CallGraph, stmts []ast.Stmt, held []heldLock) []heldLock {
+	info := p.Pkg.Info
+	for _, stmt := range stmts {
+		if name, locks, isRead := mutexOp(info, stmt); name != "" {
+			if locks {
+				held = append(held, heldLock{expr: name + rwSuffix(isRead), pos: stmt.Pos()})
+			} else {
+				held = releaseLock(held, name+rwSuffix(isRead))
+			}
+			continue
+		}
+		if ds, ok := stmt.(*ast.DeferStmt); ok {
+			// `defer mu.Unlock()` keeps the lock held for the remaining
+			// statements, which is exactly the region we must check; any
+			// other deferred call runs at return and is out of scope.
+			_ = ds
+			continue
+		}
+		if len(held) > 0 {
+			checkUnderLock(p, graph, stmt, held)
+		}
+		// Recurse into nested statement lists with a copy of the held set.
+		for _, body := range nestedBlocks(stmt) {
+			inner := make([]heldLock, len(held))
+			copy(inner, held)
+			scanLockRegions(p, graph, body, inner)
+		}
+	}
+	return held
+}
+
+func rwSuffix(isRead bool) string {
+	if isRead {
+		return " (read)"
+	}
+	return ""
+}
+
+func releaseLock(held []heldLock, name string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].expr == name {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// nestedBlocks returns the statement lists nested directly inside stmt.
+// Function literals are excluded: their bodies run on another activation,
+// with their own (empty) lexical lock state.
+func nestedBlocks(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedBlocks(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedBlocks(s.Stmt)...)
+	}
+	return out
+}
+
+// mutexOp recognizes `x.Lock()` / `x.RLock()` / `x.Unlock()` /
+// `x.RUnlock()` expression statements on sync.Mutex / sync.RWMutex
+// (including embedded ones) and returns the rendered receiver, whether it
+// acquires, and whether it is the read side.
+func mutexOp(info *types.Info, stmt ast.Stmt) (name string, locks, isRead bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false, false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false, false
+	}
+	switch namedTypeName(recv.Type()) {
+	case "sync.Mutex", "sync.RWMutex":
+	default:
+		return "", false, false
+	}
+	name = types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return name, true, false
+	case "RLock":
+		return name, true, true
+	case "Unlock":
+		return name, false, false
+	case "RUnlock":
+		return name, false, true
+	}
+	return "", false, false
+}
+
+// checkUnderLock inspects one statement executed with locks held and
+// reports blocking operations and calls into blocking functions. Nested
+// statement lists are handled by the caller's recursion; here we inspect
+// only the statement's own expressions (conditions, initializers, call
+// arguments), skipping goroutine spawns and function-literal bodies.
+func checkUnderLock(p *Pass, graph *CallGraph, stmt ast.Stmt, held []heldLock) {
+	lock := held[len(held)-1].expr
+	skip := map[ast.Node]bool{}
+	for _, body := range nestedBlocks(stmt) {
+		for _, s := range body {
+			skip[s] = true
+		}
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && skip[s] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send while %s is held", lock)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				p.Reportf(n.Pos(), "channel receive while %s is held", lock)
+			}
+			return true
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				p.Reportf(n.Pos(), "blocking select while %s is held", lock)
+			}
+			// Comm clauses of a default-carrying select are non-blocking
+			// polls; either way the clause bodies are nested blocks handled
+			// by the caller.
+			return false
+		case *ast.RangeStmt:
+			if t := p.Pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					p.Reportf(n.Pos(), "range over channel while %s is held", lock)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			checkCallUnderLock(p, graph, n, lock)
+			return true
+		}
+		return true
+	})
+}
+
+// checkCallUnderLock classifies one call made under lock.
+func checkCallUnderLock(p *Pass, graph *CallGraph, call *ast.CallExpr, lock string) {
+	info := p.Pkg.Info
+	if what := blockingStdCall(info, call); what != "" {
+		p.Reportf(call.Pos(), "%s while %s is held", what, lock)
+		return
+	}
+	fn := staticCallee(info, ast.Unparen(call.Fun))
+	if fn == nil {
+		return
+	}
+	node := graph.NodeByKey(FuncKey(fn))
+	if node == nil || node.Decl == nil {
+		return
+	}
+	if b := node.directBlock; b != nil {
+		p.Reportf(call.Pos(), "call to %s blocks (%s at %s) while %s is held",
+			shortKey(node.Key), b.what, p.Pkg.Fset.Position(b.pos), lock)
+		return
+	}
+	// One level of propagation: the callee itself calls a function that
+	// blocks directly.
+	for _, e := range node.Calls {
+		if e.Kind != EdgeStatic && e.Kind != EdgeFuncVar {
+			continue
+		}
+		if e.Go {
+			continue
+		}
+		callee := graph.NodeByKey(e.Callee)
+		if callee != nil && callee.directBlock != nil {
+			p.Reportf(call.Pos(), "call to %s blocks (calls %s, which %s at %s) while %s is held",
+				shortKey(node.Key), shortKey(callee.Key), callee.directBlock.what,
+				p.Pkg.Fset.Position(callee.directBlock.pos), lock)
+			return
+		}
+	}
+}
+
+// blockingStdCall recognizes the well-known blocking calls from the
+// standard library: sync.WaitGroup.Wait, sync.Cond.Wait, and writes to an
+// http.ResponseWriter (Write/WriteHeader/Flush reach the client socket).
+func blockingStdCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "sync":
+		switch namedTypeName(recv.Type()) + "." + fn.Name() {
+		case "sync.WaitGroup.Wait":
+			return "sync.WaitGroup.Wait"
+		case "sync.Cond.Wait":
+			return "sync.Cond.Wait"
+		}
+	case "net/http":
+		switch namedTypeName(recv.Type()) + "." + fn.Name() {
+		case "net/http.ResponseWriter.Write", "net/http.ResponseWriter.WriteHeader", "net/http.Flusher.Flush":
+			return "HTTP response " + fn.Name()
+		}
+	}
+	return ""
+}
+
+// firstBlockingOp finds the first lexically-blocking operation in a
+// function body for the call-graph blocking summary: channel send or
+// receive, defaultless select, range over a channel, or a recognized
+// blocking standard-library call. Goroutine spawns, deferred calls and
+// function-literal bodies are excluded — their blocking does not happen
+// on the caller's stack at call position.
+func firstBlockingOp(pkg *Package, body *ast.BlockStmt) *blockInfo {
+	var found *blockInfo
+	record := func(pos token.Pos, what string) {
+		if found == nil {
+			found = &blockInfo{pos: pos, what: what}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			record(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				record(n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				record(n.Pos(), "blocking select")
+				return false
+			}
+			return false
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					record(n.Pos(), "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if what := blockingStdCall(pkg.Info, n); what != "" {
+				record(n.Pos(), what)
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// selectHasDefault reports whether the select carries a default clause
+// (making it a non-blocking poll).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package analysis
+
+// Native fuzz target for the waiver parser. The invariant under attack:
+// for every input, parseNolint either returns a non-empty validated
+// checker list with no problem, or a non-empty problem string — never
+// both empty (a malformed waiver silently treated as valid would disable
+// enforcement) and never a panic. The committed corpus under
+// testdata/fuzz/FuzzParseNolint seeds the generator with the malformed
+// shapes the parser must keep rejecting.
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzParseNolint(f *testing.F) {
+	seeds := []string{
+		" hotalloc -- reason",
+		" hotalloc,lockheld -- multi reason",
+		" all -- wildcard",
+		"",
+		" ",
+		" -- reason with no checkers",
+		" hotalloc",
+		" hotalloc --",
+		" hotalloc --   ",
+		" nosuchchecker -- reason",
+		" hotalloc, -- trailing comma",
+		" ,,,, -- commas only",
+		" hotalloc -- a -- b",
+		" hotalloc\t--\treason",
+		" hotalloc lockheld -- space separated",
+		" --",
+		"--reason",
+		" all,all -- duplicate wildcard",
+		" hotalloc -- \x00",
+		" \xff\xfe -- non-utf8 checkers",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, rest string) {
+		checkers, problem := parseNolint(rest)
+		if problem != "" {
+			if len(checkers) != 0 {
+				t.Fatalf("parseNolint(%q) returned checkers %v alongside problem %q", rest, checkers, problem)
+			}
+			return
+		}
+		// Accepted: every name must be a registered checker or the
+		// wildcard, and the reason tail must be genuinely non-empty.
+		if len(checkers) == 0 {
+			t.Fatalf("parseNolint(%q) accepted with no checkers and no problem", rest)
+		}
+		for _, name := range checkers {
+			if name != "all" && ByName(name) == nil {
+				t.Fatalf("parseNolint(%q) accepted unknown checker %q", rest, name)
+			}
+		}
+		_, reason, found := strings.Cut(rest, "--")
+		if !found || strings.TrimSpace(reason) == "" {
+			t.Fatalf("parseNolint(%q) accepted a waiver without a reason", rest)
+		}
+		_ = utf8.ValidString(rest) // inputs need not be UTF-8; the parser must not care
+	})
+}

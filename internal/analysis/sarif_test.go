@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteSARIF decodes the emitted log and checks the fields SARIF
+// consumers rely on: schema/version, the rules table, and result
+// locations with relativized forward-slash URIs.
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "/repo/internal/nn/conv.go", Line: 42, Col: 7, Checker: "hotcall", Message: "m1"},
+		{File: "/elsewhere/b.go", Line: 7, Col: 1, Checker: "lockheld", Message: "m2"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/repo", diags); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("decoding SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "skynet-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(All) {
+		t.Errorf("rules = %d, want one per registered checker (%d)", len(run.Tool.Driver.Rules), len(All))
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, c := range All {
+		if !ruleIDs[c.Name] {
+			t.Errorf("rules table missing checker %q", c.Name)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "hotcall" || r0.Level != "warning" || r0.Message.Text != "m1" {
+		t.Errorf("result[0] = %+v", r0)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/nn/conv.go" {
+		t.Errorf("in-base URI = %q, want relativized", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/b.go" {
+		t.Errorf("out-of-base URI = %q, want untouched", uri)
+	}
+}
+
+// TestWriteSARIFEmpty checks the empty log is still a valid run with the
+// rules table present and an empty (not null) results array.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "", nil); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"results": []`) {
+		t.Errorf("empty log must carry an empty results array:\n%s", out)
+	}
+}

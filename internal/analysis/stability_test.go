@@ -1,0 +1,60 @@
+package analysis
+
+// Diagnostic output must be byte-identical from run to run and across
+// parallelism settings — CI diffs lint output between branches, and a
+// map-order or scheduling leak would turn every diff into noise. The
+// fixture packages fire all three interprocedural checkers, so this
+// exercises the call-graph build, the closure walk, and the final
+// framework sort.
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+func lintFixturesText(t *testing.T) string {
+	t.Helper()
+	var pkgs []*Package
+	for _, dir := range []string{
+		"testdata/src/hotcall",
+		"testdata/src/lockheld",
+		"testdata/src/ctxflow",
+		"testdata/src/callgraph",
+	} {
+		pkg, err := testLoader().LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := Run(pkgs, All)
+	if len(diags) == 0 {
+		t.Fatal("fixture packages produced no diagnostics; stability test is vacuous")
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, "", diags); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.String()
+}
+
+func TestDiagnosticStability(t *testing.T) {
+	first := lintFixturesText(t)
+	for i := 0; i < 3; i++ {
+		if got := lintFixturesText(t); got != first {
+			t.Fatalf("run %d output differs:\n%s\nvs first run:\n%s", i+2, got, first)
+		}
+	}
+}
+
+func TestDiagnosticStabilityAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	serial := lintFixturesText(t)
+	runtime.GOMAXPROCS(8)
+	parallel := lintFixturesText(t)
+	runtime.GOMAXPROCS(prev)
+	if serial != parallel {
+		t.Fatalf("output differs between GOMAXPROCS=1 and GOMAXPROCS=8:\n%s\nvs\n%s", serial, parallel)
+	}
+}

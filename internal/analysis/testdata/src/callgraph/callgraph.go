@@ -1,0 +1,35 @@
+// Package callgraph is the fixture for the call-graph snapshot test: one
+// static call, one method call devirtualized through its concrete
+// receiver, one interface fan-out, one function-variable dataflow edge,
+// and one unresolved dynamic call.
+package callgraph
+
+type ringer interface{ Ring() int }
+
+type bell struct{}
+
+func (bell) Ring() int { return 1 }
+
+type horn struct{}
+
+func (horn) Ring() int { return 2 }
+
+func leaf() int { return 3 }
+
+// fv is the package-level dispatch seam resolved by dataflow.
+var fv = leaf
+
+// Static calls a package function directly.
+func Static() int { return leaf() }
+
+// Method devirtualizes through the concrete receiver type.
+func Method(b bell) int { return b.Ring() }
+
+// Iface fans out to every in-module implementation of ringer.
+func Iface(r ringer) int { return r.Ring() }
+
+// FuncVar calls through the package-level function variable.
+func FuncVar() int { return fv() }
+
+// Dynamic calls a parameter function value: unresolved.
+func Dynamic(f func() int) int { return f() }

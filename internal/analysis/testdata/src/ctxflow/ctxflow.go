@@ -1,0 +1,57 @@
+// Package ctxflow exercises context propagation: a received context must
+// flow to every context-accepting callee (directly or through a derived
+// local), and Background/TODO roots are banned outside sanctioned
+// bootstrap sites.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func callee(ctx context.Context, n int) int { return n }
+
+func noCtx(n int) int { return n }
+
+func forwards(ctx context.Context) {
+	callee(ctx, 1) // quiet: the received context is forwarded
+	noCtx(2)       // quiet: the callee takes no context
+}
+
+func derives(ctx context.Context) {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	callee(dctx, 1) // quiet: dctx derives from ctx
+}
+
+// appCtx stands in for a server-lifetime context stored outside the
+// request path.
+var appCtx context.Context
+
+func passesWrong(ctx context.Context) {
+	callee(appCtx, 1) // want `\[ctxflow\] passesWrong receives ctx but passes a different context to callee; forward ctx`
+}
+
+func detach(ctx context.Context) {
+	callee(context.Background(), 1) // want `\[ctxflow\] context\.Background\(\) in request-path function detach detaches from the caller's deadline and cancellation`
+}
+
+// mintsRoot has no context parameter; minting a root is still flagged
+// (rule 2 does not depend on rule 1).
+func mintsRoot() {
+	callee(context.TODO(), 1) // want `\[ctxflow\] context\.TODO\(\) in request-path function mintsRoot detaches`
+}
+
+// rootOnce builds on a fresh root through a local: the Background
+// construction is flagged once, and the downstream forwarding of the
+// derived context is not re-flagged.
+func rootOnce() {
+	dctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `\[ctxflow\] context\.Background\(\) in request-path function rootOnce detaches`
+	defer cancel()
+	callee(dctx, 1) // quiet: charged once at the root construction above
+}
+
+func waivedBootstrap() {
+	//skynet:nolint ctxflow -- fixture: sanctioned bootstrap site needing a fresh root
+	callee(context.Background(), 1)
+}

@@ -1,0 +1,78 @@
+// Package hotcall exercises the transitive hotpath closure: reachable
+// functions must be annotated, diagnostics carry the call chain, and the
+// closure follows static, devirtualized-method, interface and
+// function-variable edges while ignoring unresolved dynamic calls.
+package hotcall
+
+// Root is the annotated entry: hotalloc governs its own body, hotcall
+// closes over everything it can reach from here.
+//
+//skynet:hotpath
+func Root(n int) int {
+	return helper(n) + annotated(n) + waived(n)
+}
+
+func helper(n int) int { // want `\[hotcall\] helper is reachable from a hotpath root \(hotcall\.Root → hotcall\.helper\) but lacks //skynet:hotpath`
+	s := make([]int, n) // want `\[hotcall\] make allocates in helper, which is on a hot call chain \(hotcall\.Root → hotcall\.helper\)`
+	return len(s) + second(n)
+}
+
+// second is reached through helper: its diagnostic shows the full chain
+// from the root.
+func second(n int) int { // want `\[hotcall\] second is reachable from a hotpath root \(hotcall\.Root → hotcall\.helper → hotcall\.second\)`
+	return n
+}
+
+// annotated is already hot, so hotcall leaves it to hotalloc.
+//
+//skynet:hotpath
+func annotated(n int) int { return n }
+
+// waived opts out with a reason instead of annotating.
+//
+//skynet:nolint hotcall -- fixture: deliberately unannotated cold helper
+func waived(n int) int { return n }
+
+type counter struct{ n int }
+
+// MethodRoot reaches bump through a devirtualized concrete-receiver call.
+//
+//skynet:hotpath
+func MethodRoot(c *counter) int { return c.bump() }
+
+func (c *counter) bump() int { // want `\[hotcall\] bump is reachable from a hotpath root \(hotcall\.MethodRoot → hotcall\.counter\.bump\)`
+	return c.n + 1
+}
+
+type stepper interface{ step() int }
+
+type impl struct{}
+
+func (impl) step() int { // want `\[hotcall\] step is reachable from a hotpath root \(hotcall\.IfaceRoot → hotcall\.impl\.step\)`
+	return 1
+}
+
+// IfaceRoot calls through an interface: the conservative fan-out pulls
+// every in-module implementation into the closure.
+//
+//skynet:hotpath
+func IfaceRoot(s stepper) int { return s.step() }
+
+// kernel is the package-level dispatch seam: assignments to it are
+// resolved by dataflow, like the tensor micro-kernel variables.
+var kernel = kernelRef
+
+func kernelRef(n int) int { // want `\[hotcall\] kernelRef is reachable from a hotpath root \(hotcall\.VarRoot → hotcall\.kernelRef\)`
+	return n * 2
+}
+
+// VarRoot calls through the package-level function variable.
+//
+//skynet:hotpath
+func VarRoot(n int) int { return kernel(n) }
+
+// DynRoot calls a parameter function value: an unresolved dynamic edge
+// the closure deliberately does not follow (documented soundness gap).
+//
+//skynet:hotpath
+func DynRoot(f func() int) int { return f() }

@@ -1,0 +1,95 @@
+// Package lockheld exercises the lock-discipline checker: blocking
+// operations under a held mutex, the defer-unlock idiom, one-level
+// propagation through the call graph, and the sanctioned non-blocking
+// idioms that must stay quiet.
+package lockheld
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (b *box) sendUnderLock() {
+	b.mu.Lock()
+	b.ch <- 1 // want `\[lockheld\] channel send while b\.mu is held`
+	b.mu.Unlock()
+}
+
+func (b *box) recvUnderDefer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `\[lockheld\] channel receive while b\.mu is held`
+}
+
+func (b *box) afterUnlock() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 1 // quiet: the lock is already released
+}
+
+func (b *box) waitUnderReadLock() {
+	b.rw.RLock()
+	b.wg.Wait() // want `\[lockheld\] sync\.WaitGroup\.Wait while b\.rw \(read\) is held`
+	b.rw.RUnlock()
+}
+
+func (b *box) poll() {
+	b.mu.Lock()
+	// A select with a default clause is a non-blocking poll: quiet.
+	select {
+	case b.ch <- 1:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) blockingSelect() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `\[lockheld\] blocking select while b\.mu is held`
+	case <-b.ch:
+	case b.ch <- 2:
+	}
+}
+
+func (b *box) spawn() {
+	b.mu.Lock()
+	// The spawn itself does not block; the goroutine body has its own
+	// (empty) lock state.
+	go func() { b.ch <- 1 }()
+	b.mu.Unlock()
+}
+
+// waitAll blocks directly: the call-graph summary records the wait.
+func (b *box) waitAll() {
+	b.wg.Wait()
+}
+
+func (b *box) callsBlocking() {
+	b.mu.Lock()
+	b.waitAll() // want `\[lockheld\] call to lockheld\.box\.waitAll blocks \(sync\.WaitGroup\.Wait at .*\) while b\.mu is held`
+	b.mu.Unlock()
+}
+
+// indirect does not block itself but statically calls waitAll, which
+// does; the checker propagates the summary one level.
+func (b *box) indirect() {
+	b.waitAll()
+}
+
+func (b *box) callsIndirect() {
+	b.mu.Lock()
+	b.indirect() // want `\[lockheld\] call to lockheld\.box\.indirect blocks \(calls lockheld\.box\.waitAll, which sync\.WaitGroup\.Wait at .*\) while b\.mu is held`
+	b.mu.Unlock()
+}
+
+func (b *box) waivedBlock() {
+	b.mu.Lock()
+	//skynet:nolint lockheld -- fixture: deliberate block under lock, bounded by the test harness
+	b.ch <- 3
+	b.mu.Unlock()
+}

@@ -87,6 +87,9 @@ func TestGlobalRandTestdata(t *testing.T) { runWantTest(t, "globalrand") }
 func TestMapOrderTestdata(t *testing.T)   { runWantTest(t, "maporder") }
 func TestFloatEqTestdata(t *testing.T)    { runWantTest(t, "floateq") }
 func TestHotAllocTestdata(t *testing.T)   { runWantTest(t, "hotalloc") }
+func TestHotCallTestdata(t *testing.T)    { runWantTest(t, "hotcall") }
+func TestLockHeldTestdata(t *testing.T)   { runWantTest(t, "lockheld") }
+func TestCtxFlowTestdata(t *testing.T)    { runWantTest(t, "ctxflow") }
 func TestErrDropTestdata(t *testing.T)    { runWantTest(t, "errdrop") }
 func TestNolintTestdata(t *testing.T)     { runWantTest(t, "nolint") }
 func TestPkgDocTestdata(t *testing.T)     { runWantTest(t, "pkgdoc") }

@@ -138,8 +138,11 @@ func (c *Conv2D) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
 
 // ensureWorkerCols sizes the per-worker im2col scratch for the parallel
 // forward pass.
+//
+//skynet:hotpath
 func (c *Conv2D) ensureWorkerCols(nw, rows, cols int) {
 	if len(c.wcols) < nw || c.wcols[0].Dim(0) != rows || c.wcols[0].Dim(1) != cols {
+		//skynet:nolint hotalloc -- grow-once scratch: reallocates only when the worker count or im2col geometry changes, never in steady state
 		c.wcols = make([]*tensor.Tensor, nw)
 		for i := range c.wcols {
 			c.wcols[i] = tensor.New(rows, cols)

@@ -62,6 +62,9 @@ type Coster interface {
 	Cost() (macs, bytes int64)
 }
 
+// one unwraps a single-input layer's argument list.
+//
+//skynet:hotpath
 func one(xs []*tensor.Tensor, name string) *tensor.Tensor {
 	if len(xs) != 1 {
 		panic(fmt.Sprintf("nn: layer %s expects exactly 1 input, got %d", name, len(xs)))
@@ -70,6 +73,8 @@ func one(xs []*tensor.Tensor, name string) *tensor.Tensor {
 }
 
 // expect4D validates an [N,C,H,W] input with the given channel count.
+//
+//skynet:hotpath
 func expect4D(x *tensor.Tensor, wantC int, name string) {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("nn: layer %s expects [N,C,H,W] input, got shape %v", name, x.Shape()))

@@ -9,6 +9,9 @@ import (
 // 0 (default) uses GOMAXPROCS. Exposed so benchmarks and tests can pin it.
 var MaxParallelism = 0
 
+// workersFor picks the worker count for an n-iteration parallel loop.
+//
+//skynet:hotpath
 func workersFor(n int) int {
 	w := MaxParallelism
 	if w <= 0 {
@@ -44,6 +47,12 @@ func parallelFor(n int, fn func(i int)) {
 // with the same worker index never run concurrently. Chunk assignment is
 // deterministic for a fixed worker count, so per-worker accumulators merged
 // in worker order give reproducible results.
+//
+// On the multi-worker path each chunk spawns one goroutine whose closure
+// captures (worker, lo, hi): a handful of small allocations per *batched
+// layer call*, amortized over the chunk's work, never per element.
+//
+//skynet:hotpath
 func parallelForWorkers(n int, fn func(worker, i int)) {
 	w := workersFor(n)
 	if w == 1 {
@@ -61,6 +70,7 @@ func parallelForWorkers(n int, fn func(worker, i int)) {
 			hi = n
 		}
 		wg.Add(1)
+		//skynet:nolint hotalloc -- one goroutine closure per chunk per batched call, amortized over the chunk's work (see the doc comment)
 		go func(worker, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {

@@ -20,6 +20,8 @@ var ReuseOutputs bool
 // call. The arity is fixed (rather than variadic) so the shape slice is only
 // materialized on the miss path — a variadic signature would allocate the
 // []int argument on every call, even on cache hits.
+//
+//skynet:hotpath
 func reuseOrNew4(cached *tensor.Tensor, d0, d1, d2, d3 int) *tensor.Tensor {
 	if ReuseOutputs && cached != nil && cached.Rank() == 4 &&
 		cached.Dim(0) == d0 && cached.Dim(1) == d1 &&
@@ -34,6 +36,8 @@ func reuseOrNew4(cached *tensor.Tensor, d0, d1, d2, d3 int) *tensor.Tensor {
 // out of a batch without allocating a header per call; the returned view
 // aliases data and is only valid until the next viewInto2 on the same cache
 // slot. Fixed arity for the same reason as reuseOrNew4.
+//
+//skynet:hotpath
 func viewInto2(cached *tensor.Tensor, data []float32, d0, d1 int) *tensor.Tensor {
 	if cached != nil && cached.Rank() == 2 &&
 		cached.Dim(0) == d0 && cached.Dim(1) == d1 {
@@ -44,6 +48,8 @@ func viewInto2(cached *tensor.Tensor, data []float32, d0, d1 int) *tensor.Tensor
 }
 
 // viewInto3 is viewInto2 for rank-3 [C, H, W] image views.
+//
+//skynet:hotpath
 func viewInto3(cached *tensor.Tensor, data []float32, d0, d1, d2 int) *tensor.Tensor {
 	if cached != nil && cached.Rank() == 3 &&
 		cached.Dim(0) == d0 && cached.Dim(1) == d1 && cached.Dim(2) == d2 {

@@ -106,7 +106,11 @@ type run struct {
 	err error
 }
 
-// fail records the first error and cancels the run.
+// fail records the first error and cancels the run. It sits on the
+// itemWorker hot chain (the error path is cold, but reachability is what
+// the closure audits) and allocates nothing itself.
+//
+//skynet:hotpath
 func (r *run) fail(err error) {
 	r.mu.Lock()
 	if r.err == nil {
@@ -405,24 +409,34 @@ func (r *run) startSequencer(in <-chan token) <-chan token {
 	return out
 }
 
-// safeProc invokes p converting a panic into an error.
+// safeProc invokes p converting a panic into an error. The recovery is a
+// deferred call to a named function rather than a closure literal: a
+// closure here would heap-allocate its header on every item of every
+// stage, the single largest steady-state allocation the hotpath closure
+// audit found in this package.
+//
+//skynet:hotpath
 func safeProc(ctx context.Context, p Proc, v any) (out any, err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			err = fmt.Errorf("panic: %v", rec)
-		}
-	}()
+	defer recoverToError(&err)
 	return p(ctx, v)
 }
 
 // safeBatch invokes b converting a panic into an error.
 func safeBatch(ctx context.Context, b BatchProc, vals []any) (out []any, err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			err = fmt.Errorf("panic: %v", rec)
-		}
-	}()
+	defer recoverToError(&err)
 	return b(ctx, vals)
+}
+
+// recoverToError converts an in-flight panic into *errp. It must be the
+// deferred function itself (recover only works when called directly from a
+// deferred frame), and it takes the error by pointer so the caller's defer
+// statement captures no closure.
+//
+//skynet:hotpath
+func recoverToError(errp *error) {
+	if rec := recover(); rec != nil {
+		*errp = fmt.Errorf("panic: %v", rec)
+	}
 }
 
 // SleepSpec returns a per-item stage that blocks for d per item across
@@ -505,6 +519,7 @@ func (p *Pipeline) RunPipelined(items []any, buf int) []any {
 	if err != nil {
 		panic(err)
 	}
+	//skynet:nolint ctxflow -- legacy §6.3 API predates contexts and takes none; callers wanting cancellation use Executor.Run directly
 	out, err := ex.Run(context.Background(), items)
 	if err != nil {
 		panic(err)

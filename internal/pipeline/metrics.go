@@ -23,10 +23,21 @@ type stageCounters struct {
 	blockedNS atomic.Int64
 }
 
-func (c *stageCounters) addItems(n int)             { c.items.Add(int64(n)) }
-func (c *stageCounters) addBatch()                  { c.batches.Add(1) }
-func (c *stageCounters) addBusy(d time.Duration)    { c.busyNS.Add(int64(d)) }
-func (c *stageCounters) addWait(d time.Duration)    { c.waitNS.Add(int64(d)) }
+// The add* counters run inside itemWorker's per-item loop: atomic adds
+// only, no allocation.
+//
+//skynet:hotpath
+func (c *stageCounters) addItems(n int) { c.items.Add(int64(n)) }
+
+func (c *stageCounters) addBatch() { c.batches.Add(1) }
+
+//skynet:hotpath
+func (c *stageCounters) addBusy(d time.Duration) { c.busyNS.Add(int64(d)) }
+
+//skynet:hotpath
+func (c *stageCounters) addWait(d time.Duration) { c.waitNS.Add(int64(d)) }
+
+//skynet:hotpath
 func (c *stageCounters) addBlocked(d time.Duration) { c.blockedNS.Add(int64(d)) }
 
 // StageStats is a snapshot of one stage's counters, aggregated across the

@@ -128,6 +128,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout t
 		return err
 	case <-ctx.Done():
 	}
+	//skynet:nolint ctxflow -- ctx is already cancelled at this point; the drain budget needs a fresh root or the graceful drain would be skipped entirely
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	drainErr := s.Drain(dctx)

@@ -295,6 +295,7 @@ func (p *Pool) Swap(ctx context.Context, factory ModelFactory) error {
 		return ErrDraining
 	}
 	old := p.gen.Load()
+	//skynet:nolint lockheld -- swapMu serializes admin ops (Swap/Drain/Close) only; the request path reads p.gen atomically and never takes it, so blocking here stalls no requests
 	g, err := p.buildGeneration(factory, len(old.replicas))
 	if err != nil {
 		return err
@@ -309,10 +310,12 @@ func (p *Pool) Swap(ctx context.Context, factory ModelFactory) error {
 		dctx, cancel = context.WithTimeout(ctx, p.cfg.SwapTimeout)
 		defer cancel()
 	}
+	//skynet:nolint lockheld -- swapMu serializes admin ops only; the old generation drains while the new one (already published) serves lock-free
 	if err := drainAll(dctx, old.replicas); err != nil {
 		// The budget ran out; hard-stop the stragglers so the old
 		// generation cannot leak. The new generation is already serving.
 		for _, r := range old.replicas {
+			//skynet:nolint lockheld -- swapMu serializes admin ops only; hard-stopping stragglers cannot stall the request path
 			r.Close()
 		}
 		return fmt.Errorf("serve: draining generation %d: %w", old.id, err)
@@ -362,8 +365,10 @@ func (p *Pool) Drain(ctx context.Context) error {
 	if g == nil {
 		return nil
 	}
+	//skynet:nolint lockheld -- swapMu serializes admin ops only; holding it for the whole drain is what makes Drain/Swap mutually exclusive
 	err := drainAll(ctx, g.replicas)
 	if p.track != nil {
+		//skynet:nolint lockheld -- swapMu serializes admin ops only; see the drainAll waiver above
 		if terr := p.track.Drain(ctx); err == nil {
 			err = terr
 		}
@@ -378,10 +383,12 @@ func (p *Pool) Close() {
 	p.closed.Store(true)
 	if g := p.gen.Load(); g != nil {
 		for _, r := range g.replicas {
+			//skynet:nolint lockheld -- swapMu serializes admin ops only; Close abandons replicas and must exclude a concurrent Swap
 			r.Close()
 		}
 	}
 	if p.track != nil {
+		//skynet:nolint lockheld -- swapMu serializes admin ops only; see the replica Close waiver above
 		p.track.Close()
 	}
 }

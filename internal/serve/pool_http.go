@@ -117,6 +117,7 @@ func (p *Pool) handleSwap(w http.ResponseWriter, r *http.Request) {
 	// The drain of the old generation is bounded by SwapTimeout, not by the
 	// admin request's context: an impatient admin client must not abandon a
 	// half-drained generation.
+	//skynet:nolint ctxflow -- deliberate detach (see above): the swap drain must survive an admin client disconnect
 	if err := p.Swap(context.Background(), factory); err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, ErrDraining) {
@@ -166,6 +167,7 @@ func (p *Pool) ListenAndServe(ctx context.Context, addr string, drainTimeout tim
 		return err
 	case <-ctx.Done():
 	}
+	//skynet:nolint ctxflow -- ctx is already cancelled at this point; the drain budget needs a fresh root or the graceful drain would be skipped entirely
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	drainErr := p.Drain(dctx)

@@ -219,6 +219,7 @@ func New(m detect.Model, h *detect.Head, cfg Config) (*Server, error) {
 	}
 	s.ex = ex
 
+	//skynet:nolint ctxflow -- the pipeline stream lives for the server's lifetime, not any request's; Close/Drain cancel it, so a fresh root is correct here
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	out, wait := ex.Stream(ctx, s.in)
@@ -289,11 +290,14 @@ func (s *Server) Submit(ctx context.Context, img *tensor.Tensor) (detect.Box, fl
 		s.mu.RUnlock()
 		return detect.Box{}, 0, ErrDraining
 	}
+	admitted := false
 	select {
 	case s.in <- req:
-		s.mu.RUnlock()
+		admitted = true
 	default:
-		s.mu.RUnlock()
+	}
+	s.mu.RUnlock()
+	if !admitted {
 		s.rejected.Add(1)
 		return detect.Box{}, 0, ErrOverloaded
 	}

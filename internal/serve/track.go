@@ -268,6 +268,7 @@ func NewTrackService(tr *track.Tracker, cfg TrackConfig) (*TrackService, error) 
 	}
 	s.ex = ex
 
+	//skynet:nolint ctxflow -- the pipeline stream lives for the service's lifetime, not any request's; Close/Drain cancel it, so a fresh root is correct here
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	out, wait := ex.Stream(ctx, s.in)
@@ -343,11 +344,14 @@ func (s *TrackService) submit(ctx context.Context, req *trackReq) error {
 		s.mu.RUnlock()
 		return ErrDraining
 	}
+	admitted := false
 	select {
 	case s.in <- req:
-		s.mu.RUnlock()
+		admitted = true
 	default:
-		s.mu.RUnlock()
+	}
+	s.mu.RUnlock()
+	if !admitted {
 		s.reject.Add(1)
 		return ErrOverloaded
 	}
@@ -452,6 +456,7 @@ func (s *TrackService) Step(ctx context.Context, id string, frame *tensor.Tensor
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	req := &trackReq{op: opStep, frame: frame, box: sess.box, zf: sess.zf, withMask: withMask}
+	//skynet:nolint lockheld -- blocking under sess.mu is the point: one session's frames are serialized while other sessions proceed; submit is bounded by the request deadline
 	if err := s.submit(ctx, req); err != nil {
 		return detect.Box{}, nil, err
 	}
@@ -680,6 +685,7 @@ func (s *TrackService) ListenAndServe(ctx context.Context, addr string, drainTim
 		return err
 	case <-ctx.Done():
 	}
+	//skynet:nolint ctxflow -- ctx is already cancelled at this point; the drain budget needs a fresh root or the graceful drain would be skipped entirely
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	drainErr := s.Drain(dctx)

@@ -68,6 +68,8 @@ const (
 
 // gemmUseNaive decides whether a call takes the naive reference kernels
 // instead of the blocked path.
+//
+//skynet:hotpath
 func gemmUseNaive(m, n, k int) bool {
 	return m*n*k < gemmMinBlockedMACs || k < gemmMinBlockedK
 }
@@ -130,6 +132,9 @@ type freeList[T any] struct {
 	alloc func() *T
 }
 
+// get pops a pooled buffer, falling back to the allocator on a miss.
+//
+//skynet:hotpath
 func (l *freeList[T]) get() *T {
 	l.mu.Lock()
 	if n := len(l.items); n > 0 {
@@ -142,8 +147,12 @@ func (l *freeList[T]) get() *T {
 	return l.alloc()
 }
 
+// put returns a buffer to the list.
+//
+//skynet:hotpath
 func (l *freeList[T]) put(x *T) {
 	l.mu.Lock()
+	//skynet:nolint hotcall,hotalloc -- the backing array grows to peak concurrency once and is reused; steady state appends into capacity
 	l.items = append(l.items, x)
 	l.mu.Unlock()
 }
@@ -200,6 +209,8 @@ func startGemmWorkers() {
 }
 
 // gemmWorkerCount decides how many column chunks to split a call into.
+//
+//skynet:hotpath
 func gemmWorkerCount(m, n, k int) int {
 	w := MaxParallelism
 	if w <= 0 {
@@ -223,6 +234,8 @@ func gemmWorkerCount(m, n, k int) int {
 // gemmExec runs a call, splitting it across the worker pool when profitable.
 // The caller always executes the first chunk itself so progress never
 // depends on pool capacity.
+//
+//skynet:hotpath
 func gemmExec(c gemmCall) {
 	w := gemmWorkerCount(c.m, c.n, c.k)
 	if w <= 1 {

@@ -204,6 +204,8 @@ func startI8Workers() {
 // i8WorkerCount decides how many column chunks to split a call into. It
 // honours the same MaxParallelism knob as the float path; integer
 // accumulation is exact, so the result never depends on the split.
+//
+//skynet:hotpath
 func i8WorkerCount(m, n, k int) int {
 	w := MaxParallelism
 	if w <= 0 {
@@ -224,6 +226,8 @@ func i8WorkerCount(m, n, k int) int {
 // i8UseNaive reports whether a call should take the naive reference path:
 // tiny problems (packing never amortized) and k beyond the unblocked panel
 // capacity.
+//
+//skynet:hotpath
 func i8UseNaive(m, n, k int) bool {
 	return m*n*k < i8MinBlockedMACs || k > i8KC
 }
@@ -231,6 +235,8 @@ func i8UseNaive(m, n, k int) bool {
 // i8Exec runs a call, splitting it across the worker pool when profitable.
 // The caller always executes the first chunk itself so progress never
 // depends on pool capacity.
+//
+//skynet:hotpath
 func i8Exec(c i8gemmCall) {
 	if i8UseNaive(c.m, c.n, c.k) {
 		c.runNaive()
@@ -265,6 +271,8 @@ func i8Exec(c i8gemmCall) {
 
 // Int8GEMMInto computes c = a·b for int8 A [m,k] and B [k,n], accumulating
 // exactly in int32. c must have length m·n.
+//
+//skynet:hotpath
 func Int8GEMMInto(c []int32, a, b []int8, m, n, k int) {
 	checkI8("Int8GEMMInto", len(c), len(a), len(b), m, n, k)
 	i8Exec(i8gemmCall{a: a, b: b, c32: c, m: m, n: n, k: k, mode: i8ModeInt32})
@@ -291,6 +299,9 @@ func Int8GEMMDequantInto(dst []float32, a, b []int8, m, n, k int, bias []int32, 
 		mode: i8ModeDequant, bias: bias, mult: mult})
 }
 
+// checkI8 validates operand lengths against the call geometry.
+//
+//skynet:hotpath
 func checkI8(name string, lc, la, lb, m, n, k int) {
 	if m <= 0 || n <= 0 || k <= 0 {
 		panic("tensor: " + name + " requires positive dimensions")
@@ -313,6 +324,8 @@ func checkI8Epilogue(name string, bias []int32, mult []float32, m int) {
 // output element, with the epilogue applied inline. It is the correctness
 // oracle for the blocked path and the fallback for shapes the blocked
 // kernel does not cover (k > i8KC, tiny problems).
+//
+//skynet:hotpath
 func (g *i8gemmCall) runNaive() {
 	for i := 0; i < g.m; i++ {
 		arow := g.a[i*g.k : (i+1)*g.k]
@@ -556,6 +569,8 @@ func (g *i8gemmCall) packB(dst []int8, jc, nc int) {
 // with the [outC, c*kh*kw] weight matrix. Padding positions contribute the
 // symmetric zero point (0). col must have capacity for the full matrix;
 // the caller reuses one buffer across a batch.
+//
+//skynet:hotpath
 func Int8Im2Col(col, img []int8, c, h, w, kh, kw, stride, pad int) {
 	outH := ConvOut(h, kh, stride, pad)
 	outW := ConvOut(w, kw, stride, pad)

@@ -4,6 +4,8 @@ import "fmt"
 
 // ConvOut returns the spatial output size of a convolution with the given
 // input size, kernel, stride and padding.
+//
+//skynet:hotpath
 func ConvOut(in, kernel, stride, pad int) int {
 	return (in+2*pad-kernel)/stride + 1
 }
@@ -14,6 +16,8 @@ func ConvOut(in, kernel, stride, pad int) int {
 // (padding) positions contribute zeros. The result is written into col,
 // which must have the exact shape; this allows the caller to reuse one
 // buffer across a batch.
+//
+//skynet:hotpath
 func Im2Col(col, img *Tensor, kh, kw, stride, pad int) {
 	if img.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: Im2Col expects [C,H,W] input, got %v", img.shape))

@@ -26,6 +26,8 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // checkMatMul validates shapes for c (+)= a·b with a [m,k], b [k,n].
+//
+//skynet:hotpath
 func checkMatMul(name string, c, a, b *Tensor) (m, n, k int) {
 	m, k = a.shape[0], a.shape[1]
 	if b.shape[0] != k {
@@ -65,6 +67,8 @@ func checkMatMulTB(name string, c, a, b *Tensor) (m, n, k int) {
 }
 
 // MatMulInto computes c = a·b, overwriting c. c must have shape [m,n].
+//
+//skynet:hotpath
 func MatMulInto(c, a, b *Tensor) {
 	m, n, k := checkMatMul("MatMulInto", c, a, b)
 	if gemmUseNaive(m, n, k) {
@@ -87,6 +91,8 @@ func MatMulAddInto(c, a, b *Tensor) {
 // MatMulRowBiasInto computes c = a·b with bias[i] added to every element of
 // row i — the fused epilogue used by convolution forward passes, where rows
 // are output channels. bias must have length m.
+//
+//skynet:hotpath
 func MatMulRowBiasInto(c, a, b, bias *Tensor) {
 	m, n, k := checkMatMul("MatMulRowBiasInto", c, a, b)
 	if bias.Len() != m {

@@ -8,6 +8,8 @@ package tensor
 // tensor-level kernels used.
 
 // naiveMatMulInto computes c = a·b for a [m,k] and b [k,n].
+//
+//skynet:hotpath
 func naiveMatMulInto(c, a, b []float32, m, n, k int) {
 	for i := 0; i < m; i++ {
 		crow := c[i*n : (i+1)*n]

@@ -27,21 +27,29 @@ type Tensor struct {
 
 // New returns a zero-filled tensor with the given shape. All dimensions
 // must be positive.
+//skynet:nolint hotcall -- allocating constructor by contract; hot callers reach it only on cold/shape-change paths or amortized per-call outputs (the reuse helpers pool the steady state)
 func New(shape ...int) *Tensor {
 	n := checkShape(shape)
+	//skynet:nolint hotcall -- constructor body; see the waiver on New
 	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float32, n)}
 }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is used
 // directly (not copied); its length must equal the shape's element count.
+//skynet:nolint hotcall -- allocating constructor by contract: one header + shape per view, no data copy
 func FromSlice(data []float32, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
 		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
 	}
+	//skynet:nolint hotcall -- constructor body; see the waiver on FromSlice
 	return &Tensor{shape: append([]int(nil), shape...), Data: data}
 }
 
+// checkShape validates a shape and returns its element count. Pure
+// validation: the panic formatting is the only (cold) allocation source.
+//
+//skynet:hotpath
 func checkShape(shape []int) int {
 	if len(shape) == 0 {
 		panic("tensor: empty shape")
@@ -58,15 +66,23 @@ func checkShape(shape []int) int {
 
 // Shape returns the tensor's dimensions. The returned slice must not be
 // modified.
+//
+//skynet:hotpath
 func (t *Tensor) Shape() []int { return t.shape }
 
 // Dim returns the size of dimension i.
+//
+//skynet:hotpath
 func (t *Tensor) Dim(i int) int { return t.shape[i] }
 
 // Rank returns the number of dimensions.
+//
+//skynet:hotpath
 func (t *Tensor) Rank() int { return len(t.shape) }
 
 // Len returns the total number of elements.
+//
+//skynet:hotpath
 func (t *Tensor) Len() int { return len(t.Data) }
 
 // SameShape reports whether t and u have identical shapes.

@@ -39,6 +39,8 @@ import (
 //     AO/SR parity (EXPERIMENTS.md).
 
 // xcorrGeom validates a depth-wise correlation and returns its geometry.
+//
+//skynet:hotpath
 func xcorrGeom(z, x *tensor.Tensor) (c, hz, wz, hx, wx, oh, ow int, err error) {
 	if z.Rank() != 3 || x.Rank() != 3 {
 		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("track: xcorr wants [C,h,w] operands, got %v and %v", z.Shape(), x.Shape())
@@ -71,6 +73,9 @@ var xcorrFree = struct {
 	list []*xcorrScratch
 }{}
 
+// getXCorrScratch pops a pooled scratch, constructing one on a miss.
+//
+//skynet:hotpath
 func getXCorrScratch() *xcorrScratch {
 	xcorrFree.mu.Lock()
 	defer xcorrFree.mu.Unlock()
@@ -79,11 +84,16 @@ func getXCorrScratch() *xcorrScratch {
 		xcorrFree.list = xcorrFree.list[:n-1]
 		return s
 	}
+	//skynet:nolint hotalloc -- free-list miss path: constructs once per concurrent tracker, then the list serves every frame
 	return &xcorrScratch{}
 }
 
+// putXCorrScratch returns a scratch to the free list.
+//
+//skynet:hotpath
 func putXCorrScratch(s *xcorrScratch) {
 	xcorrFree.mu.Lock()
+	//skynet:nolint hotalloc -- the backing array grows to peak concurrency once and is reused; steady state appends into capacity
 	xcorrFree.list = append(xcorrFree.list, s)
 	xcorrFree.mu.Unlock()
 }
@@ -103,7 +113,12 @@ func DWXCorr(z, x *tensor.Tensor) *tensor.Tensor {
 
 // DWXCorrE is DWXCorr with shape errors returned instead of panicking —
 // the form the tracking service calls, where a malformed session request
-// must become a 400, not kill a worker.
+// must become a 400, not kill a worker. This is the streaming tracker's
+// per-frame hot path: the lowering buffers come from the scratch free
+// list, and the only steady-state allocation is the response tensor the
+// caller owns (tensor.New carries its own waiver).
+//
+//skynet:hotpath
 func DWXCorrE(z, x *tensor.Tensor) (*tensor.Tensor, error) {
 	c, hz, wz, hx, wx, oh, ow, err := xcorrGeom(z, x)
 	if err != nil {
@@ -163,6 +178,8 @@ func DWXCorrNaive(z, x *tensor.Tensor) (*tensor.Tensor, error) {
 // quantizeSym quantizes src into int8 codes with a symmetric per-tensor
 // scale (maxAbs/127) and returns the scale. An all-zero tensor gets scale
 // 1 so dequantization stays finite.
+//
+//skynet:hotpath
 func quantizeSym(dst []int8, src []float32) float32 {
 	var maxAbs float32
 	for _, v := range src {
@@ -202,6 +219,8 @@ func quantizeSym(dst []int8, src []float32) float32 {
 // an approximation of the float path whose AO/SR parity is measured in
 // EXPERIMENTS.md; exact integer accumulation makes it bitwise
 // deterministic across kernels and worker counts.
+//
+//skynet:hotpath
 func DWXCorrInt8(z, x *tensor.Tensor) (*tensor.Tensor, error) {
 	c, hz, wz, hx, wx, oh, ow, err := xcorrGeom(z, x)
 	if err != nil {
@@ -211,15 +230,19 @@ func DWXCorrInt8(z, x *tensor.Tensor) (*tensor.Tensor, error) {
 	s := getXCorrScratch()
 	k, n := hz*wz, oh*ow
 	if len(s.zi8) < c*k {
+		//skynet:nolint hotalloc -- grow-once scratch: sized on the first frame of a geometry, reused afterwards
 		s.zi8 = make([]int8, c*k)
 	}
 	if len(s.xi8) < c*hx*wx {
+		//skynet:nolint hotalloc -- grow-once scratch: sized on the first frame of a geometry, reused afterwards
 		s.xi8 = make([]int8, c*hx*wx)
 	}
 	if len(s.ci8) < k*n {
+		//skynet:nolint hotalloc -- grow-once scratch: sized on the first frame of a geometry, reused afterwards
 		s.ci8 = make([]int8, k*n)
 	}
 	if len(s.acc) < n {
+		//skynet:nolint hotalloc -- grow-once scratch: sized on the first frame of a geometry, reused afterwards
 		s.acc = make([]int32, n)
 	}
 	zScale := quantizeSym(s.zi8[:c*k], z.Data)
