@@ -5,9 +5,9 @@ GO ?= go
 # the production HTTP surface (pool, router, swap, cache, scenarios) and is
 # held to a higher floor than the rest.
 COVER_FLOOR ?= 60
-COVER_PKGS  ?= ./internal/serve:70 ./internal/analysis:75 ./internal/pipeline:$(COVER_FLOOR) ./internal/detect:$(COVER_FLOOR) ./internal/quant:$(COVER_FLOOR) ./internal/track:$(COVER_FLOOR)
+COVER_PKGS  ?= ./internal/serve:70 ./internal/analysis:75 ./internal/pso:70 ./internal/pipeline:$(COVER_FLOOR) ./internal/detect:$(COVER_FLOOR) ./internal/quant:$(COVER_FLOOR) ./internal/track:$(COVER_FLOOR)
 
-.PHONY: all build binaries vet lint test short race purego arm64 bench bench-quant bench-track bench-serve bench-json cover check ci
+.PHONY: all build binaries vet lint test short race purego arm64 bench bench-quant bench-track bench-serve bench-search bench-search-short bench-json cover check ci
 
 all: ci
 
@@ -52,11 +52,12 @@ short:
 # race runs the concurrency-bearing packages under the race detector: the
 # parallel GEMM/conv kernels, the streaming pipeline executor (plus its
 # detect-stage adapters), the batching HTTP server, the stateful tracking
-# service with its session table, and the analysis framework (whose lazy
-# Module state is shared across checker passes). The tests force
-# multi-worker execution even on one CPU.
+# service with its session table, the analysis framework (whose lazy
+# Module state is shared across checker passes), and the PSO search (its
+# bounded evaluation worker pool, cached engine evaluator, and job
+# service). The tests force multi-worker execution even on one CPU.
 race:
-	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/... ./internal/serve/... ./internal/track/... ./internal/analysis/...
+	$(GO) test -race ./internal/nn/... ./internal/tensor/... ./internal/pipeline/... ./internal/detect/... ./internal/serve/... ./internal/track/... ./internal/analysis/... ./internal/pso/...
 
 # purego runs the kernel-bearing packages with the assembly micro-kernels
 # compiled out, so the portable fallback (and its dispatch seam) cannot
@@ -98,6 +99,21 @@ bench-track:
 bench-serve:
 	$(GO) run ./cmd/skynet-bench -serve-out BENCH_serve.json
 
+# bench-search regenerates BENCH_search.json, the committed codesign-search
+# baseline: a fixed-seed measured-fitness PSO job run through the search
+# service (engine factors calibrated on the real float32/int8 engines,
+# then pinned), with executed proofs that the trajectory is bitwise
+# identical across worker counts and across kill+resume, plus an
+# analytic-vs-measured latency comparison for the winning genomes.
+bench-search:
+	$(GO) run ./cmd/skynet-bench -search-out BENCH_search.json
+
+# bench-search-short re-proves the same determinism contracts on a smaller
+# trajectory, writing to a scratch file: the CI gate (skynet-bench exits
+# non-zero if either proof fails) without touching the committed baseline.
+bench-search-short:
+	$(GO) run ./cmd/skynet-bench -search-out $(if $(TMPDIR),$(TMPDIR),/tmp)/BENCH_search_short.json -search-short
+
 # bench-json regenerates the committed machine-readable baselines:
 # BENCH_gemm.json (GFLOPS trajectory — every kernel at SkyNet GEMM shapes,
 # serial, with allocation counts) and BENCH_track.json (tracking backends).
@@ -121,8 +137,9 @@ cover:
 	exit $$fail
 
 # ci is the single verification entry point: everything must pass before a
-# commit lands.
-ci: vet lint test race purego arm64 build binaries
+# commit lands. bench-search-short re-executes the search determinism
+# proofs; cover enforces the per-package floors above.
+ci: vet lint test race purego arm64 build binaries bench-search-short cover
 
 # check is kept as an alias for ci (the historical name).
 check: ci

@@ -1,0 +1,132 @@
+package skynet_test
+
+// Validates the committed codesign-search baseline: BENCH_search.json must
+// record a completed fixed-seed measured-fitness search whose determinism
+// proofs (bitwise-identical trajectory across worker counts and across
+// kill+resume) actually executed and held, whose winner was priced through
+// all four platforms (analytic FPGA/GPU plus both measured CPU engines),
+// and whose analytic-vs-measured comparison carries both views of every
+// genome. `make bench-search` regenerates the file.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+func TestBenchSearchBaseline(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_search.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var base struct {
+		JobID      string `json:"job_id"`
+		Iterations int    `json:"iterations"`
+		Factors    struct {
+			Float32 float64 `json:"float32_ns_per_mac"`
+			Int8    float64 `json:"int8_ns_per_mac"`
+		} `json:"factors"`
+		History []float64 `json:"history"`
+		Best    struct {
+			Net       string             `json:"net"`
+			Fit       float64            `json:"fit"`
+			FloatIoU  float64            `json:"float_iou"`
+			Int8IoU   float64            `json:"int8_iou"`
+			LatencyMS map[string]float64 `json:"latency_ms"`
+		} `json:"best"`
+		OperatingPointIoU float64 `json:"operating_point_iou"`
+		WideWorkers       int     `json:"wide_workers"`
+		ParallelIdentical bool    `json:"parallel_identical"`
+		ResumeKillIter    int     `json:"resume_kill_iter"`
+		ResumeIdentical   bool    `json:"resume_identical"`
+		CacheHits         int64   `json:"cache_hits"`
+		CacheMisses       int64   `json:"cache_misses"`
+		Comparison        []struct {
+			Net        string             `json:"net"`
+			AnalyticMS map[string]float64 `json:"analytic_ms"`
+			MeasuredMS map[string]float64 `json:"measured_ms"`
+		} `json:"comparison"`
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing BENCH_search.json: %v", err)
+	}
+
+	if base.JobID == "" {
+		t.Fatal("baseline carries no job ID — the search did not run through the service")
+	}
+	if len(base.History) != base.Iterations || base.Iterations == 0 {
+		t.Fatalf("history has %d entries for %d iterations", len(base.History), base.Iterations)
+	}
+	for i := 1; i < len(base.History); i++ {
+		if base.History[i] < base.History[i-1] {
+			t.Fatalf("best-fitness history must be monotone non-decreasing: %v", base.History)
+		}
+	}
+	if base.History[len(base.History)-1] != base.Best.Fit {
+		t.Fatalf("final history entry %v != best fitness %v", base.History[len(base.History)-1], base.Best.Fit)
+	}
+
+	if base.Factors.Float32 <= 0 || base.Factors.Int8 <= 0 {
+		t.Fatalf("engine factors %+v — calibration did not run on the real engines", base.Factors)
+	}
+
+	// The winner must have been priced on every platform: the analytic FPGA
+	// and GPU models plus both engine-measured CPU paths.
+	for _, k := range []string{"fpga", "gpu", "cpu-f32", "cpu-i8"} {
+		if base.Best.LatencyMS[k] <= 0 {
+			t.Fatalf("best latency[%s] = %v, want > 0", k, base.Best.LatencyMS[k])
+		}
+	}
+	if base.Best.FloatIoU <= 0 || base.Best.Int8IoU <= 0 {
+		t.Fatalf("best IoUs float %v int8 %v — both engines must have evaluated the winner",
+			base.Best.FloatIoU, base.Best.Int8IoU)
+	}
+	if base.OperatingPointIoU != base.Best.Int8IoU {
+		t.Fatalf("operating point IoU %v must be the winner's measured int8 accuracy %v",
+			base.OperatingPointIoU, base.Best.Int8IoU)
+	}
+
+	// The determinism proofs must have executed (non-trivial parameters)
+	// and held.
+	if base.WideWorkers < 2 {
+		t.Fatalf("parallelism proof ran with %d workers — not a proof", base.WideWorkers)
+	}
+	if !base.ParallelIdentical {
+		t.Fatal("trajectory differed across worker counts: the fixed-order reduction contract is broken")
+	}
+	if base.ResumeKillIter < 1 || base.ResumeKillIter >= base.Iterations {
+		t.Fatalf("resume proof killed at iteration %d of %d — not a mid-search kill", base.ResumeKillIter, base.Iterations)
+	}
+	if !base.ResumeIdentical {
+		t.Fatal("resumed trajectory differed from the uninterrupted run: the checkpoint contract is broken")
+	}
+
+	if base.CacheMisses == 0 {
+		t.Fatal("a finished search must have evaluated something")
+	}
+	if base.CacheHits == 0 {
+		t.Fatal("a multi-iteration search re-visits genomes; zero cache hits means the arch-hash cache is dead")
+	}
+
+	if len(base.Comparison) == 0 {
+		t.Fatal("baseline carries no analytic-vs-measured comparison")
+	}
+	for _, c := range base.Comparison {
+		// Both views model the same FPGA and GPU, so those columns agree;
+		// only the measured view prices the CPU engines.
+		for _, k := range []string{"fpga", "gpu"} {
+			if math.Abs(c.AnalyticMS[k]-c.MeasuredMS[k]) > 1e-9 {
+				t.Fatalf("%s: %s latency differs between views: %v vs %v", c.Net, k, c.AnalyticMS[k], c.MeasuredMS[k])
+			}
+		}
+		for _, k := range []string{"cpu-f32", "cpu-i8"} {
+			if c.MeasuredMS[k] <= 0 {
+				t.Fatalf("%s: measured view missing %s", c.Net, k)
+			}
+			if _, ok := c.AnalyticMS[k]; ok {
+				t.Fatalf("%s: analytic view claims a measured CPU latency", c.Net)
+			}
+		}
+	}
+}

@@ -13,11 +13,18 @@
 //	skynet-bench -kernels purego       # restrict kernel set
 //	skynet-bench -which                # print dispatched kernels and exit
 //	skynet-bench -track-out BENCH_track.json  # tracking baseline instead
+//	skynet-bench -search-out BENCH_search.json  # codesign-search baseline
 //
 // With -track-out the command records the tracking trajectory instead: a
 // seeded SkyNet tracker is trained once, then evaluated per
 // cross-correlation backend (gemm, naive, int8), recording frames/sec and
 // the GOT-10k metrics so the int8 path's AO parity is pinned in-repo.
+//
+// With -search-out it records the codesign-search baseline: a fixed-seed
+// measured-fitness PSO job run through the search service, plus executed
+// proofs that the trajectory is bitwise identical across worker counts and
+// across kill+resume, and an analytic-vs-measured latency comparison
+// (-search-short shrinks the trajectory for CI).
 //
 // Runs are serial (MaxParallelism=1): the trajectory tracks kernel
 // throughput, not worker-pool scaling.
@@ -227,11 +234,44 @@ func main() {
 		serveClients  = flag.Int("serve-clients", 6400, "peak concurrent clients for -serve-out (100x the PR-3 integration scale)")
 		serveReplicas = flag.Int("serve-replicas", 0, "replica count for -serve-out (0 = NumCPU, floored at 2, capped at 8)")
 		serveSLO      = flag.Float64("serve-slo", 1000, "success-latency p99 budget in ms at peak for -serve-out")
+
+		searchOut   = flag.String("search-out", "", "record the codesign-search baseline (measured-fitness PSO + determinism proofs) to this file instead")
+		searchShort = flag.Bool("search-short", false, "shrink the -search-out trajectory for CI; the asserted properties are scale-independent")
 	)
 	flag.Parse()
 
 	if *which {
 		fmt.Printf("float32 kernel: %s\nint8 kernel:    %s\n", tensor.KernelName(), tensor.Int8KernelName())
+		return
+	}
+
+	if *searchOut != "" {
+		oldPar := tensor.MaxParallelism
+		tensor.MaxParallelism = 1
+		defer func() { tensor.MaxParallelism = oldPar }()
+		base, err := benchSearch(*searchShort)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: search: %v\n", err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*searchOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if !base.ParallelIdentical {
+			fmt.Fprintf(os.Stderr, "skynet-bench: search: %d-worker trajectory differs from the serial service run\n", base.WideWorkers)
+			os.Exit(1)
+		}
+		if !base.ResumeIdentical {
+			fmt.Fprintf(os.Stderr, "skynet-bench: search: resumed trajectory differs from the uninterrupted run\n")
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -1,0 +1,266 @@
+package main
+
+// benchSearch regenerates BENCH_search.json, the committed codesign-search
+// baseline: one fixed-seed measured-fitness PSO job run end to end through
+// the search service, with the two determinism proofs the search loop
+// promises (bitwise-identical trajectory across worker counts, and across
+// kill+resume from a checkpoint) executed and recorded alongside an
+// analytic-vs-measured latency comparison for the winning genomes.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+
+	"skynet/internal/bundle"
+	"skynet/internal/cpufeat"
+	"skynet/internal/dataset"
+	"skynet/internal/fpga"
+	"skynet/internal/hw"
+	"skynet/internal/pso"
+)
+
+// SearchFactors mirrors pso.EngineFactors with JSON names: the calibrated
+// engine costs (ns per MAC) the whole trajectory was priced with.
+type SearchFactors struct {
+	Float32NSPerMAC float64 `json:"float32_ns_per_mac"`
+	Int8NSPerMAC    float64 `json:"int8_ns_per_mac"`
+}
+
+// SearchBest is the winning candidate: genome, fitness, both engines'
+// accuracies, and the full latency map.
+type SearchBest struct {
+	Net       string             `json:"net"`
+	Fit       float64            `json:"fit"`
+	FloatIoU  float64            `json:"float_iou"`
+	Int8IoU   float64            `json:"int8_iou"`
+	LatencyMS map[string]float64 `json:"latency_ms"`
+}
+
+// SearchComparison is one analytic-vs-measured row: the same genome priced
+// by the pure-model HardwareEvaluator and by the EngineEvaluator (which
+// adds the two CPU engines), with the Equation 1 fitness under each view.
+type SearchComparison struct {
+	Net         string             `json:"net"`
+	AnalyticMS  map[string]float64 `json:"analytic_ms"`
+	MeasuredMS  map[string]float64 `json:"measured_ms"`
+	AnalyticFit float64            `json:"analytic_fit"`
+	MeasuredFit float64            `json:"measured_fit"`
+}
+
+// SearchBaseline is the file format of BENCH_search.json.
+type SearchBaseline struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	AVX2   bool   `json:"cpu_avx2"`
+	FMA    bool   `json:"cpu_fma"`
+	Short  bool   `json:"short"`
+
+	JobID      string        `json:"job_id"`
+	Seed       int64         `json:"seed"`
+	Iterations int           `json:"iterations"`
+	Factors    SearchFactors `json:"factors"`
+
+	History          []float64  `json:"history"`
+	Best             SearchBest `json:"best"`
+	OperatingPointMS float64    `json:"operating_point_ms"`
+	OperatingPointIO float64    `json:"operating_point_iou"`
+
+	// The determinism proofs: re-runs of the same job that must land on the
+	// bitwise-identical trajectory.
+	WideWorkers       int  `json:"wide_workers"`
+	ParallelIdentical bool `json:"parallel_identical"`
+	ResumeKillIter    int  `json:"resume_kill_iter"`
+	ResumeIdentical   bool `json:"resume_identical"`
+
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+
+	Comparison []SearchComparison `json:"comparison"`
+}
+
+// benchSpec is the fixed-seed job every proof re-runs. Short mode shrinks
+// the trajectory for CI; the properties asserted are scale-independent.
+func benchSpec(short bool) pso.JobSpec {
+	spec := pso.JobSpec{
+		Groups: 2, PerGroup: 4, Iterations: 4,
+		Slots: 3, Pools: 2,
+		ChannelMin: 4, ChannelMax: 32,
+		Gamma: 0.5,
+		Seed:  1,
+		W:     48, H: 24,
+		TrainN: 8, ValN: 4,
+		BatchSize: 4,
+		Workers:   1,
+	}
+	if short {
+		spec.PerGroup, spec.Iterations = 3, 2
+		spec.TrainN, spec.ValN = 6, 3
+	}
+	return spec
+}
+
+// sameTrajectory compares two search outcomes bitwise: the per-iteration
+// history floats and the winning genome and fitness.
+func sameTrajectory(history []float64, best pso.Particle, res pso.Result) bool {
+	if len(history) != len(res.History) {
+		return false
+	}
+	for i := range history {
+		if history[i] != res.History[i] { //skynet:nolint floateq -- the proof asserts bitwise identity, not numeric closeness
+			return false
+		}
+	}
+	//skynet:nolint floateq -- the proof asserts bitwise identity, not numeric closeness
+	return best.Fit == res.Best.Fit && best.Net.String() == res.Best.Net.String()
+}
+
+func benchSearch(short bool) (SearchBaseline, error) {
+	spec := benchSpec(short)
+
+	// Calibrate the engine factors once on the real engines, then pin them
+	// into every run: the trajectory is a pure function of (Config,
+	// factors), so the determinism proofs need the factors to be a shared
+	// input rather than re-measured wall-clock per run.
+	ref := pso.Network{BundleType: 6, Channels: []int{16, 32, 48}, PoolPos: []int{0, 1}}
+	spec.Factors = spec.NewEvaluator().MeasureFactors(ref, 3)
+	fmt.Fprintf(os.Stderr, "# engine factors: float32 %.3f ns/MAC, int8 %.3f ns/MAC\n",
+		spec.Factors.Float32NSPerMAC, spec.Factors.Int8NSPerMAC)
+
+	dir, err := os.MkdirTemp("", "skynet-search-bench")
+	if err != nil {
+		return SearchBaseline{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Reference trajectory, produced through the job service itself.
+	svc := pso.NewService(dir)
+	st, err := svc.Submit(spec)
+	if err != nil {
+		return SearchBaseline{}, err
+	}
+	svc.Wait(st.ID)
+	final, _ := svc.Status(st.ID)
+	if final.State != "done" {
+		return SearchBaseline{}, fmt.Errorf("job %s ended %s: %s", st.ID, final.State, final.Error)
+	}
+	res, ok := svc.Result(st.ID)
+	if !ok {
+		return SearchBaseline{}, fmt.Errorf("job %s finished without a result", st.ID)
+	}
+	fmt.Fprintf(os.Stderr, "# job %s: best %s fit %.4f (cache %d hits / %d misses)\n",
+		res.ID, res.Best.Net, res.Best.Fit, res.CacheHits, res.CacheMisses)
+
+	// Proof 1: a wide worker pool must land on the bitwise trajectory of
+	// the serial service run.
+	wide := runtime.GOMAXPROCS(0)
+	if wide < 2 {
+		wide = 2
+	}
+	wcfg := spec.SearchConfig()
+	wcfg.Workers = wide
+	wres, err := pso.SearchFrom(wcfg, spec.NewEvaluator(), nil, nil)
+	if err != nil {
+		return SearchBaseline{}, err
+	}
+	parallelOK := sameTrajectory(res.History, res.Best, wres)
+	fmt.Fprintf(os.Stderr, "# parallelism proof (%d workers): identical=%v\n", wide, parallelOK)
+
+	// Proof 2: kill the search after an iteration's checkpoint, resume on a
+	// fresh evaluator that carries no factors of its own — the checkpoint
+	// must supply them and the finished trajectory must match.
+	kill := spec.Iterations / 2
+	if kill < 1 {
+		kill = 1
+	}
+	killed := errors.New("killed")
+	var saved pso.Checkpoint
+	cfg := spec.SearchConfig()
+	if _, err := pso.SearchFrom(cfg, spec.NewEvaluator(), nil, func(ck pso.Checkpoint) error {
+		saved = ck
+		if ck.Iter == kill {
+			return killed
+		}
+		return nil
+	}); !errors.Is(err, killed) {
+		return SearchBaseline{}, fmt.Errorf("kill hook did not stop the search: %v", err)
+	}
+	fresh := spec.NewEvaluator()
+	fresh.Factors = pso.EngineFactors{}
+	rres, err := pso.SearchFrom(cfg, fresh, &saved, nil)
+	if err != nil {
+		return SearchBaseline{}, err
+	}
+	resumeOK := sameTrajectory(res.History, res.Best, rres)
+	fmt.Fprintf(os.Stderr, "# resume proof (killed at iteration %d): identical=%v\n", kill, resumeOK)
+
+	// Analytic-vs-measured comparison on the winner and each group's best,
+	// using the particles' already-measured accuracy and latency against
+	// the pure-model HardwareEvaluator's view of the same genomes.
+	bundles := make([]bundle.Bundle, spec.Groups)
+	for i := range bundles {
+		b, ok := bundle.ByID(i)
+		if !ok {
+			return SearchBaseline{}, fmt.Errorf("no bundle with enumeration ID %d", i)
+		}
+		bundles[i] = b
+	}
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = spec.W, spec.H
+	analytic := &pso.HardwareEvaluator{
+		Bundles: bundles,
+		Gen:     dataset.NewGenerator(dcfg),
+		TrainN:  spec.TrainN, ValN: spec.ValN,
+		BatchSize: spec.BatchSize,
+		InC:       3, HeadC: 10,
+		Device: fpga.Ultra96, GPU: hw.TX2,
+		Seed: spec.Seed,
+	}
+	particles := append([]pso.Particle{res.Best}, wres.GroupBest...)
+	var comparison []SearchComparison
+	seen := map[string]bool{}
+	for _, p := range particles {
+		key := p.Net.String()
+		if seen[key] || len(p.Net.Channels) == 0 {
+			continue
+		}
+		seen[key] = true
+		am := analytic.Latency(p.Net)
+		row := SearchComparison{
+			Net:        key,
+			AnalyticMS: am, MeasuredMS: p.Lat,
+			AnalyticFit: cfg.Fitness(p.Acc, am),
+			MeasuredFit: p.Fit,
+		}
+		comparison = append(comparison, row)
+		fmt.Fprintf(os.Stderr, "#   %-24s analytic fpga %.2fms fit %.4f | measured fpga %.2fms fit %.4f\n",
+			row.Net, am[pso.PlatformFPGA], row.AnalyticFit, row.MeasuredMS[pso.PlatformFPGA], row.MeasuredFit)
+	}
+
+	return SearchBaseline{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		AVX2: cpufeat.AVX2, FMA: cpufeat.FMA,
+		Short: short,
+		JobID: res.ID, Seed: spec.Seed, Iterations: spec.Iterations,
+		Factors: SearchFactors{
+			Float32NSPerMAC: res.Factors.Float32NSPerMAC,
+			Int8NSPerMAC:    res.Factors.Int8NSPerMAC,
+		},
+		History: res.History,
+		Best: SearchBest{
+			Net: res.Best.Net.String(), Fit: res.Best.Fit,
+			FloatIoU: res.Best.Acc, Int8IoU: res.Best.QuantAcc,
+			LatencyMS: res.Best.Lat,
+		},
+		OperatingPointMS:  res.Op.LatencyS * 1e3,
+		OperatingPointIO:  res.Op.IoU,
+		WideWorkers:       wide,
+		ParallelIdentical: parallelOK,
+		ResumeKillIter:    kill,
+		ResumeIdentical:   resumeOK,
+		CacheHits:         res.CacheHits,
+		CacheMisses:       res.CacheMisses,
+		Comparison:        comparison,
+	}, nil
+}

@@ -5,18 +5,34 @@
 // and Stage 3 adds the bypass/reordering/ReLU6 features and trains the
 // final network, reporting accuracy together with FPGA and GPU estimates.
 //
+// With -serve it instead hosts the measured-fitness search as a job API
+// (internal/pso.Service): searches are submitted as JSON specs, evaluated
+// through the real float32 and int8 engines, checkpointed every iteration
+// into -dir, and resumed from there if the process is killed and the job
+// resubmitted.
+//
 // Usage:
 //
-//	skynet-search                  # quick flow
+//	skynet-search                  # quick one-shot flow
 //	skynet-search -iters 6 -pergroup 5 -epochs 20   # a longer search
+//	skynet-search -serve -addr :8089 -dir search-jobs
+//
+// Against a serving instance:
+//
+//	curl -X POST localhost:8089/search/jobs -d '{"iterations":4,"seed":1}'
+//	curl localhost:8089/search/jobs/<id>          # status
+//	curl localhost:8089/search/jobs/<id>/result   # finished best candidate
+//	curl localhost:8089/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"skynet/internal/core"
+	"skynet/internal/pso"
 )
 
 func main() {
@@ -31,8 +47,20 @@ func main() {
 		fpgaMS   = flag.Float64("fpga-target", 40, "FPGA latency target Req_fpga (ms)")
 		gpuMS    = flag.Float64("gpu-target", 15, "GPU latency target Req_gpu (ms)")
 		seed     = flag.Int64("seed", 1, "random seed")
+
+		serveMode = flag.Bool("serve", false, "host the measured-fitness search job API instead of the one-shot flow")
+		addr      = flag.String("addr", ":8089", "listen address for -serve")
+		dir       = flag.String("dir", "search-jobs", "checkpoint directory for -serve (jobs resume from here after a crash)")
 	)
 	flag.Parse()
+
+	if *serveMode {
+		if err := serveJobs(*addr, *dir); err != nil {
+			fmt.Fprintf(os.Stderr, "skynet-search: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := core.DefaultFlowConfig()
 	cfg.Search.Iterations = *iters
@@ -80,4 +108,16 @@ func main() {
 	fmt.Printf("final IoU:      %.4f\n", res.FinalIoU)
 	fmt.Printf("FPGA estimate:  %s\n", res.FPGAReport)
 	fmt.Printf("GPU latency:    %.2f ms\n", res.GPULatencyMS)
+}
+
+// serveJobs hosts the search-as-a-service job API on addr, checkpointing
+// every job into dir.
+func serveJobs(addr, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint directory: %w", err)
+	}
+	svc := pso.NewService(dir)
+	fmt.Fprintf(os.Stderr, "# search job API on %s (checkpoints in %s)\n", addr, dir)
+	fmt.Fprintf(os.Stderr, "#   POST /search/jobs, GET /search/jobs[/{id}[/result]], GET /metrics\n")
+	return http.ListenAndServe(addr, svc.Handler())
 }

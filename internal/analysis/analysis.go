@@ -6,7 +6,8 @@
 // closure over the module call graph (hotcall), no blocking operations
 // under a held mutex (lockheld), context propagation through the
 // serving layers (ctxflow), no silently dropped errors (errdrop), and a
-// package doc comment on every package (pkgdoc).
+// doc comment on every package and every exported type, function, and
+// method — interface implementations exempt (pkgdoc).
 //
 // The framework loads every package of the module with go/parser and
 // type-checks it with go/types against compiled export data (see load.go),
@@ -34,6 +35,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"io"
 	"path/filepath"
 	"sort"
@@ -87,6 +89,9 @@ type Module struct {
 
 	hotOnce sync.Once
 	hotSet  map[string]*hotReach
+
+	ifaceOnce sync.Once
+	ifaces    []*types.Interface
 }
 
 // Graph returns the module-wide call graph, building it on first use.
@@ -99,6 +104,30 @@ func (m *Module) Graph() *CallGraph {
 func (m *Module) hotClosureOnce() map[string]*hotReach {
 	m.hotOnce.Do(func() { m.hotSet = hotClosure(m) })
 	return m.hotSet
+}
+
+// interfaces returns every non-empty interface type declared at package
+// scope anywhere in the module, building the list on first use. pkgdoc
+// consults it for the interface-implementation documentation exemption.
+func (m *Module) interfaces() []*types.Interface {
+	m.ifaceOnce.Do(func() {
+		for _, pkg := range m.Pkgs {
+			if pkg.Types == nil {
+				continue
+			}
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if iface, ok := tn.Type().Underlying().(*types.Interface); ok && iface.NumMethods() > 0 {
+					m.ifaces = append(m.ifaces, iface)
+				}
+			}
+		}
+	})
+	return m.ifaces
 }
 
 // Pass is the per-(package, checker) context handed to Checker.Run.

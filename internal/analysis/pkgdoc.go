@@ -1,19 +1,31 @@
 package analysis
 
-// pkgdoc requires every package to carry a package doc comment on at
-// least one of its files. The doc comment is the contract statement of a
-// package — what it models from the paper, which invariants it enforces —
-// and a package without one forces readers to reverse-engineer intent
-// from code. The finding anchors at the package clause of the package's
-// first file (in load order, which is sorted by filename), the
-// conventional home for the doc.
+// pkgdoc enforces the documentation contract at two levels. Every package
+// must carry a package doc comment on at least one of its files: the doc
+// comment is the contract statement of a package — what it models from the
+// paper, which invariants it enforces — and a package without one forces
+// readers to reverse-engineer intent from code. And every exported type,
+// function, and method must carry its own doc comment: an exported name is
+// API, and an undocumented one exports a guess.
+//
+// One class of method is exempt: a method that implements an interface
+// defined in this module. Its contract lives on the interface declaration
+// (nn.Layer's 50-odd Forward/Backward implementations would otherwise each
+// restate the interface doc), so requiring a comment there would breed the
+// noise comments this repo's style forbids. Methods on unexported types
+// are likewise skipped — they are not API, even when the method name is
+// exported to satisfy an interface.
 
-import "go/ast"
+import (
+	"go/ast"
+	"go/types"
+)
 
-// PkgDoc flags packages with no package-level doc comment on any file.
+// PkgDoc flags packages with no package doc comment and exported
+// declarations with no doc comment.
 var PkgDoc = &Checker{
 	Name: "pkgdoc",
-	Doc:  "package has no package doc comment on any of its files",
+	Doc:  "package, exported type, or exported function has no doc comment",
 	Run:  runPkgDoc,
 }
 
@@ -21,14 +33,118 @@ func runPkgDoc(p *Pass) {
 	if len(p.Pkg.Files) == 0 {
 		return
 	}
+	hasPkgDoc := false
 	for _, f := range p.Pkg.Files {
 		if docText(f) != "" {
-			return
+			hasPkgDoc = true
+			break
 		}
 	}
-	first := p.Pkg.Files[0]
-	p.Reportf(first.Package, "package %s has no package doc comment on any file; add one above a package clause",
-		first.Name.Name)
+	if !hasPkgDoc {
+		first := p.Pkg.Files[0]
+		p.Reportf(first.Package, "package %s has no package doc comment on any file; add one above a package clause",
+			first.Name.Name)
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(p, d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					if d.Doc.Text() == "" && ts.Doc.Text() == "" {
+						p.Reportf(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkFuncDoc flags undocumented exported functions and methods, applying
+// the interface-implementation exemption for methods.
+func checkFuncDoc(p *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc.Text() != "" {
+		return
+	}
+	if d.Recv == nil {
+		p.Reportf(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+		return
+	}
+	recv := receiverName(d)
+	if recv == "" || !ast.IsExported(recv) {
+		return
+	}
+	if implementsModuleInterface(p, d) {
+		return
+	}
+	p.Reportf(d.Pos(), "exported method %s.%s has no doc comment", recv, d.Name.Name)
+}
+
+// receiverName extracts the receiver's base type name ("" when the
+// receiver is not a plain (possibly pointered, possibly generic) named
+// type).
+func receiverName(d *ast.FuncDecl) string {
+	if len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+// implementsModuleInterface reports whether the method satisfies a method
+// of the same name on some interface declared in this module — in which
+// case the contract is documented on the interface, not on every
+// implementation.
+func implementsModuleInterface(p *Pass, d *ast.FuncDecl) bool {
+	if p.Pkg.Info == nil {
+		return false
+	}
+	fn, ok := p.Pkg.Info.Defs[d.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	for _, iface := range p.Mod.interfaces() {
+		if !ifaceHasMethod(iface, d.Name.Name) {
+			continue
+		}
+		if types.Implements(recv, iface) {
+			return true
+		}
+		if _, isPtr := recv.(*types.Pointer); !isPtr && types.Implements(types.NewPointer(recv), iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// ifaceHasMethod reports whether the interface's full method set includes
+// a method with the given name.
+func ifaceHasMethod(iface *types.Interface, name string) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
 }
 
 // docText returns the file's package doc comment text, "" if absent or

@@ -1,0 +1,45 @@
+package pkgdoc
+
+// This file exercises the exported-declaration half of the checker. Note
+// that the expectations sit at end-of-line: a comment directly above a
+// declaration would become its doc comment and defuse the case.
+
+func Undocumented() int { return 2 } // want `\[pkgdoc\] exported function Undocumented has no doc comment`
+
+type Bare struct{} // want `\[pkgdoc\] exported type Bare has no doc comment`
+
+// Documented carries a doc comment and stays clean, as do its documented
+// method, the unexported helpers, and methods on unexported types.
+type Documented struct{}
+
+// Explained documents itself.
+func (Documented) Explained() int { return 3 }
+
+func (Documented) Surprise() int { return 4 } // want `\[pkgdoc\] exported method Documented.Surprise has no doc comment`
+
+// Stepper is the in-module interface granting the implementation
+// exemption: the contract for Step lives here, not on each implementor.
+type Stepper interface {
+	// Step advances one tick.
+	Step() int
+}
+
+// Machine implements Stepper.
+type Machine struct{}
+
+func (Machine) Step() int { return 5 } // exempt: implements Stepper, documented there
+
+type gadget struct{}
+
+func (gadget) Exported() int { return 6 } // clean: methods on unexported types are not API
+
+func helper() int { return Undocumented() + helperUser() } // clean: unexported
+
+func helperUser() int {
+	var s Stepper = Machine{}
+	g := gadget{}
+	b := Bare{}
+	d := Documented{}
+	_ = b
+	return s.Step() + g.Exported() + d.Explained() + d.Surprise() + helper()
+}

@@ -87,6 +87,19 @@ func Enumerate() []Bundle {
 	return out
 }
 
+// ByID resolves a Bundle from the enumeration pool by its stable ID, so a
+// persisted architecture description (modelspec's "search" family) can name
+// its Bundle without serializing the component list. The second result is
+// false when no enumerated Bundle carries the ID.
+func ByID(id int) (Bundle, bool) {
+	for _, b := range Enumerate() {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Bundle{}, false
+}
+
 // Build instantiates the Bundle as layers transforming inC channels to
 // outC channels, and reports the output channel count (= outC).
 func (b Bundle) Build(rng *rand.Rand, inC, outC int) []nn.Layer {

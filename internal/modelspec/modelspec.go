@@ -34,6 +34,15 @@ type Spec struct {
 	Classes int `json:"classes,omitempty"`
 	// Seed used for the deterministic builder.
 	Seed int64 `json:"seed"`
+
+	// The searched-architecture genome, used only by Family "search"
+	// (see search.go): the enumeration ID of the Bundle to replicate, the
+	// output channel width of each replication, the slot indices followed
+	// by 2×2 pooling, and whether the Stage-3 feature bypass is applied.
+	Bundle   int   `json:"bundle,omitempty"`
+	Channels []int `json:"channels,omitempty"`
+	PoolPos  []int `json:"pool_pos,omitempty"`
+	Bypass   bool  `json:"bypass,omitempty"`
 }
 
 // DefaultSpec is a CPU-scale SkyNet C detector.
@@ -73,6 +82,20 @@ func (s Spec) builder() (backbone.Builder, error) {
 
 // Build constructs the graph and matching detection head.
 func (s Spec) Build() (*nn.Graph, *detect.Head, error) {
+	if s.Family == FamilySearch {
+		var head *detect.Head
+		if s.Classes > 0 {
+			head = detect.NewClassHead(nil, s.Classes)
+			s.HeadChannels = head.Channels()
+		} else if s.HeadChannels > 0 {
+			head = detect.NewHead(nil)
+		}
+		g, err := s.buildSearch()
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, head, nil
+	}
 	b, err := s.builder()
 	if err != nil {
 		return nil, nil, err

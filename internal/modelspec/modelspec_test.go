@@ -3,6 +3,7 @@ package modelspec
 import (
 	"math/rand"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"skynet/internal/tensor"
@@ -73,7 +74,7 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != s {
+	if !reflect.DeepEqual(got, s) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", got, s)
 	}
 }
@@ -103,7 +104,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s2 != s || head2 == nil {
+	if !reflect.DeepEqual(s2, s) || head2 == nil {
 		t.Fatalf("checkpoint spec mismatch: %+v", s2)
 	}
 	got := g2.Forward(x, false)

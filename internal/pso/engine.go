@@ -1,0 +1,414 @@
+package pso
+
+// EngineEvaluator closes the codesign loop with measured fitness: every
+// particle is materialized through internal/modelspec, trained and
+// evaluated by the real float32 engine (internal/nn) AND the real int8
+// engine (internal/quant), and its latency map couples the analytic
+// FPGA/GPU models with engine-measured CPU costs.
+//
+// Measured latency vs determinism. Raw wall-clock is not reproducible —
+// it varies with GOMAXPROCS, cache state, and machine load — so it never
+// feeds the fitness directly. Instead the fitness latency of the CPU
+// engines is deterministic MAC work (realized by a real engine forward,
+// read back via hw.GraphCosts) multiplied by EngineFactors: ns/MAC rates
+// measured once from real engine runs (MeasureFactors) at job start and
+// persisted in the checkpoint. The trajectory is then a pure function of
+// (Config, EngineFactors): bitwise identical across worker counts, and
+// across kill+resume because the factors ride in the evaluator snapshot.
+// Wall-clock remains available as telemetry through Config.EvalObserver.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skynet/internal/dataset"
+	"skynet/internal/detect"
+	"skynet/internal/fpga"
+	"skynet/internal/hw"
+	"skynet/internal/modelspec"
+	"skynet/internal/nn"
+	"skynet/internal/quant"
+	"skynet/internal/tensor"
+)
+
+// Additional platform keys emitted by EngineEvaluator.Latency: the CPU
+// engines measured through the calibrated factors. Config.Beta selects
+// which platforms actually penalize the fitness; unlisted keys carry zero
+// weight.
+const (
+	PlatformCPUFloat = "cpu-f32"
+	PlatformCPUInt8  = "cpu-i8"
+)
+
+// EngineFactors are the calibrated engine costs in nanoseconds per MAC.
+// They are an explicit input to the search trajectory: measure them once
+// with MeasureFactors (or pin them for cross-machine reproducibility) and
+// they persist in every checkpoint.
+type EngineFactors struct {
+	Float32NSPerMAC float64 `json:"float32_ns_per_mac"`
+	Int8NSPerMAC    float64 `json:"int8_ns_per_mac"`
+}
+
+// Zero reports whether the factors are uncalibrated.
+func (f EngineFactors) Zero() bool { return f.Float32NSPerMAC == 0 && f.Int8NSPerMAC == 0 }
+
+// AccRecord is the cached accuracy outcome of one (architecture, epochs)
+// evaluation: the float32 engine's validation IoU and the int8 engine's.
+type AccRecord struct {
+	FloatIoU float64
+	Int8IoU  float64
+}
+
+// PerfRecord is the cached architecture-only performance estimate: total
+// MAC work realized by a real forward at the evaluation shape, the FPGA
+// IP-model report, and the GPU roofline latency. Training does not change
+// any of it, so it is keyed by architecture hash alone.
+type PerfRecord struct {
+	MACs   int64
+	Report fpga.Report
+	GPUms  float64
+}
+
+// accKey keys the accuracy cache: epochs matters because the fast-training
+// budget grows per iteration and changes the reachable accuracy.
+type accKey struct {
+	Hash   string
+	Epochs int
+}
+
+// EngineEvaluator implements QuantAwareEvaluator and StateCarrier. Safe
+// for concurrent use by Search's worker pool: results are cached by
+// canonical architecture hash (modelspec.ArchHash), and concurrent misses
+// on the same key compute the same deterministic record twice rather than
+// blocking each other.
+type EngineEvaluator struct {
+	// Gen supplies the synthetic dataset; TrainN/ValN/CalibN the split
+	// sizes (calibration batches feed quant.Export).
+	Gen                  *dataset.Generator
+	TrainN, ValN, CalibN int
+	BatchSize            int
+	// InC and HeadC describe the candidate networks (3 and 10 for SkyNet).
+	InC, HeadC int
+	// Device and GPU parameterize the analytic platform models.
+	Device fpga.Device
+	GPU    hw.Platform
+	// WBits and FMBits configure the FPGA IP precision.
+	WBits, FMBits int
+	// Seed feeds every candidate's weight-initialization stream (the
+	// genome itself differentiates the architectures).
+	Seed int64
+	// Factors are the calibrated engine costs. Leave zero to measure them
+	// on first use; set explicitly to pin a trajectory across machines.
+	Factors EngineFactors
+
+	mu    sync.Mutex
+	accs  map[accKey]AccRecord
+	perfs map[string]PerfRecord
+
+	hits, misses atomic.Int64
+
+	once       sync.Once
+	train, val []detect.Sample
+	calib      []*tensor.Tensor
+}
+
+func (e *EngineEvaluator) ensure() {
+	e.once.Do(func() {
+		if e.BatchSize <= 0 {
+			e.BatchSize = 8
+		}
+		if e.CalibN <= 0 {
+			e.CalibN = 4
+		}
+		if e.WBits == 0 {
+			e.WBits = 11
+		}
+		if e.FMBits == 0 {
+			e.FMBits = 9
+		}
+		e.train = e.Gen.DetectionSet(e.TrainN)
+		e.val = e.Gen.DetectionSet(e.ValN)
+		n := e.CalibN
+		if n > len(e.val) {
+			n = len(e.val)
+		}
+		x, _ := detect.Batch(e.val, 0, n)
+		e.calib = []*tensor.Tensor{x}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.accs == nil {
+			e.accs = map[accKey]AccRecord{}
+		}
+		if e.perfs == nil {
+			e.perfs = map[string]PerfRecord{}
+		}
+		if e.Factors.Zero() {
+			e.Factors = e.measureFactorsLocked(referenceNetwork(), 3)
+		}
+	})
+}
+
+// specFor lifts a search genome into the self-describing modelspec form —
+// the same lowering a persisted winner reloads through.
+func (e *EngineEvaluator) specFor(n Network) modelspec.Spec {
+	s := modelspec.SearchSpec(n.BundleType, n.Channels, n.PoolPos, e.Seed)
+	s.InC = e.InC
+	s.HeadChannels = e.HeadC
+	return s
+}
+
+// Accuracy implements Evaluator with the real float32 engine.
+func (e *EngineEvaluator) Accuracy(n Network, epochs int) float64 {
+	return e.accuracy(n, epochs).FloatIoU
+}
+
+// QuantAccuracy implements QuantAwareEvaluator with the real int8 engine.
+func (e *EngineEvaluator) QuantAccuracy(n Network, epochs int) float64 {
+	return e.accuracy(n, epochs).Int8IoU
+}
+
+func (e *EngineEvaluator) accuracy(n Network, epochs int) AccRecord {
+	e.ensure()
+	key := accKey{Hash: modelspec.ArchHash(e.specFor(n)), Epochs: epochs}
+	e.mu.Lock()
+	rec, ok := e.accs[key]
+	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+		return rec
+	}
+	e.misses.Add(1)
+	rec = e.evalAccuracy(n, epochs)
+	e.mu.Lock()
+	e.accs[key] = rec
+	e.mu.Unlock()
+	return rec
+}
+
+// evalAccuracy trains the candidate and scores it on both engines.
+func (e *EngineEvaluator) evalAccuracy(n Network, epochs int) AccRecord {
+	g, head, err := e.specFor(n).Build()
+	if err != nil || head == nil {
+		return AccRecord{}
+	}
+	detect.TrainDetector(g, head, e.train, detect.TrainConfig{
+		Epochs:    epochs,
+		BatchSize: e.BatchSize,
+		LR:        nn.LRSchedule{Start: 0.01, End: 0.002, Epochs: epochs},
+	})
+	rec := AccRecord{FloatIoU: detect.MeanIoU(g, head, e.val, e.BatchSize)}
+	if qm, qerr := quant.Export(g, e.calib, quant.ExportConfig{}); qerr == nil {
+		rec.Int8IoU = detect.MeanIoU(qm, head, e.val, e.BatchSize)
+	}
+	return rec
+}
+
+// Latency implements Evaluator: the analytic FPGA and GPU models plus the
+// two CPU engines priced as deterministic MAC work × calibrated factors.
+func (e *EngineEvaluator) Latency(n Network) map[string]float64 {
+	e.ensure()
+	rec := e.perf(n)
+	e.mu.Lock()
+	f := e.Factors
+	e.mu.Unlock()
+	macs := float64(rec.MACs)
+	return map[string]float64{
+		PlatformFPGA:     rec.Report.LatencyS * 1e3,
+		PlatformGPU:      rec.GPUms,
+		PlatformCPUFloat: macs * f.Float32NSPerMAC / 1e6,
+		PlatformCPUInt8:  macs * f.Int8NSPerMAC / 1e6,
+	}
+}
+
+func (e *EngineEvaluator) perf(n Network) PerfRecord {
+	e.ensure()
+	hash := modelspec.ArchHash(e.specFor(n))
+	e.mu.Lock()
+	rec, ok := e.perfs[hash]
+	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+		return rec
+	}
+	e.misses.Add(1)
+	rec = e.evalPerf(n)
+	e.mu.Lock()
+	e.perfs[hash] = rec
+	e.mu.Unlock()
+	return rec
+}
+
+// evalPerf realizes the candidate's shapes with one real forward and reads
+// back its cost structure; weights are untrained because MAC counts and
+// the platform models depend only on the architecture.
+func (e *EngineEvaluator) evalPerf(n Network) PerfRecord {
+	g, _, err := e.specFor(n).Build()
+	if err != nil {
+		return PerfRecord{}
+	}
+	cfg := e.Gen.Config()
+	x := tensor.New(1, e.InC, cfg.H, cfg.W)
+	x.RandUniform(rand.New(rand.NewSource(e.Seed)), 0, 1)
+	g.Forward(x, false)
+	var macs int64
+	for _, c := range hw.GraphCosts(g) {
+		macs += c.MACs
+	}
+	return PerfRecord{
+		MACs:   macs,
+		Report: fpga.Estimate(g, e.Device, fpga.AutoConfig(e.Device, e.WBits, e.FMBits)),
+		GPUms:  e.GPU.GraphLatency(g) * 1e3,
+	}
+}
+
+// OperatingPoint joins the candidate's FPGA estimate with its measured
+// int8 accuracy — the latency/accuracy coupling the deployment decision
+// ranks on (fpga.OperatingPoint).
+func (e *EngineEvaluator) OperatingPoint(n Network, epochs int) fpga.OperatingPoint {
+	return e.perf(n).Report.WithAccuracy(e.accuracy(n, epochs).Int8IoU)
+}
+
+// CacheStats returns the evaluation-cache hit/miss counters.
+func (e *EngineEvaluator) CacheStats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// referenceNetwork is the fixed mid-sized candidate the factors calibrate
+// on when none are pinned.
+func referenceNetwork() Network {
+	return Network{BundleType: 6, Channels: []int{16, 32, 48}, PoolPos: []int{0, 1}}
+}
+
+// MeasureFactors runs both real engines on a reference candidate and
+// returns their measured ns/MAC rates: the minimum wall over reps forwards
+// (minimum, not mean — calibration wants the engine's clean cost, not
+// scheduler noise) divided by the candidate's realized MAC work.
+func (e *EngineEvaluator) MeasureFactors(ref Network, reps int) EngineFactors {
+	e.ensure()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.measureFactorsLocked(ref, reps)
+}
+
+func (e *EngineEvaluator) measureFactorsLocked(ref Network, reps int) EngineFactors {
+	g, _, err := e.specFor(ref).Build()
+	if err != nil {
+		return EngineFactors{Float32NSPerMAC: 1, Int8NSPerMAC: 1}
+	}
+	cfg := e.Gen.Config()
+	x := tensor.New(1, e.InC, cfg.H, cfg.W)
+	x.RandUniform(rand.New(rand.NewSource(e.Seed)), 0, 1)
+	g.Forward(x, false)
+	var macs int64
+	for _, c := range hw.GraphCosts(g) {
+		macs += c.MACs
+	}
+	if macs == 0 {
+		return EngineFactors{Float32NSPerMAC: 1, Int8NSPerMAC: 1}
+	}
+	floatNS := minWallNS(reps, func() { g.Forward(x, false) })
+	f := EngineFactors{Float32NSPerMAC: floatNS / float64(macs)}
+	if qm, qerr := quant.Export(g, []*tensor.Tensor{x}, quant.ExportConfig{}); qerr == nil {
+		f.Int8NSPerMAC = minWallNS(reps, func() { qm.Forward(x, false) }) / float64(macs)
+	} else {
+		f.Int8NSPerMAC = f.Float32NSPerMAC
+	}
+	return f
+}
+
+func minWallNS(reps int, run func()) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		run()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds())
+}
+
+// engineState is the gob layout of SnapshotState: the calibrated factors
+// and both caches flattened into sorted slices for stable bytes.
+type engineState struct {
+	Factors EngineFactors
+	Accs    []accEntry
+	Perfs   []perfEntry
+}
+
+// accEntry pairs an accuracy-cache key with its record for serialization.
+type accEntry struct {
+	Key accKey
+	Rec AccRecord
+}
+
+// perfEntry pairs a perf-cache hash with its record for serialization.
+type perfEntry struct {
+	Hash string
+	Rec  PerfRecord
+}
+
+// SnapshotState implements StateCarrier: the factors plus both caches, so
+// a resumed search replays cached evaluations bit-for-bit without
+// recomputing (and, critically, prices CPU latency with the original
+// run's calibration rather than re-measuring).
+func (e *EngineEvaluator) SnapshotState() ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := engineState{Factors: e.Factors}
+	accKeys := make([]accKey, 0, len(e.accs))
+	for k := range e.accs {
+		accKeys = append(accKeys, k)
+	}
+	sort.Slice(accKeys, func(i, j int) bool {
+		a, b := accKeys[i], accKeys[j]
+		if a.Hash != b.Hash {
+			return a.Hash < b.Hash
+		}
+		return a.Epochs < b.Epochs
+	})
+	for _, k := range accKeys {
+		st.Accs = append(st.Accs, accEntry{Key: k, Rec: e.accs[k]})
+	}
+	perfKeys := make([]string, 0, len(e.perfs))
+	for h := range e.perfs {
+		perfKeys = append(perfKeys, h)
+	}
+	sort.Strings(perfKeys)
+	for _, h := range perfKeys {
+		st.Perfs = append(st.Perfs, perfEntry{Hash: h, Rec: e.perfs[h]})
+	}
+	return EncodeState(st)
+}
+
+// RestoreState implements StateCarrier.
+func (e *EngineEvaluator) RestoreState(data []byte) error {
+	var st engineState
+	if err := DecodeState(data, &st); err != nil {
+		return fmt.Errorf("pso: engine evaluator state: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.Factors = st.Factors
+	e.accs = make(map[accKey]AccRecord, len(st.Accs))
+	for _, en := range st.Accs {
+		e.accs[en.Key] = en.Rec
+	}
+	e.perfs = make(map[string]PerfRecord, len(st.Perfs))
+	for _, en := range st.Perfs {
+		e.perfs[en.Hash] = en.Rec
+	}
+	return nil
+}
+
+var (
+	_ QuantAwareEvaluator = (*EngineEvaluator)(nil)
+	_ StateCarrier        = (*EngineEvaluator)(nil)
+)

@@ -1,0 +1,190 @@
+package pso
+
+// EngineEvaluator tests: real-engine evaluation at tiny shapes, the
+// arch-hash cache contract, the StateCarrier round-trip, and end-to-end
+// measured-fitness search determinism with pinned factors.
+
+import (
+	"math"
+	"testing"
+
+	"skynet/internal/dataset"
+	"skynet/internal/fpga"
+	"skynet/internal/hw"
+)
+
+func testEngineEvaluator(seed int64) *EngineEvaluator {
+	cfg := dataset.DefaultConfig()
+	cfg.W, cfg.H = 48, 24
+	return &EngineEvaluator{
+		Gen:    dataset.NewGenerator(cfg),
+		TrainN: 8, ValN: 4, CalibN: 2,
+		BatchSize: 4,
+		InC:       3, HeadC: 10,
+		Device: fpga.Ultra96, GPU: hw.TX2,
+		Seed: seed,
+		// Pinned factors: the test asserts trajectories, not wall-clock.
+		Factors: EngineFactors{Float32NSPerMAC: 2.5, Int8NSPerMAC: 1.25},
+	}
+}
+
+func TestEngineEvaluatorMeasuresBothEngines(t *testing.T) {
+	ev := testEngineEvaluator(1)
+	n := Network{BundleType: 6, Channels: []int{8, 16, 24}, PoolPos: []int{0, 1}}
+	acc := ev.Accuracy(n, 2)
+	qacc := ev.QuantAccuracy(n, 2)
+	if acc < 0 || acc > 1 || qacc < 0 || qacc > 1 {
+		t.Fatalf("IoUs out of range: float %v int8 %v", acc, qacc)
+	}
+	lat := ev.Latency(n)
+	for _, k := range []string{PlatformFPGA, PlatformGPU, PlatformCPUFloat, PlatformCPUInt8} {
+		if lat[k] <= 0 {
+			t.Fatalf("latency[%s] = %v, want > 0", k, lat[k])
+		}
+	}
+	// The pinned factors make the int8 CPU engine exactly 2× cheaper.
+	if ratio := lat[PlatformCPUFloat] / lat[PlatformCPUInt8]; math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("cpu f32/i8 ratio %v, want 2 from pinned factors", ratio)
+	}
+	op := ev.OperatingPoint(n, 2)
+	if op.IoU != qacc {
+		t.Fatalf("operating point IoU %v, want measured int8 IoU %v", op.IoU, qacc)
+	}
+	if op.LatencyS <= 0 {
+		t.Fatal("operating point must carry the FPGA estimate")
+	}
+}
+
+func TestEngineEvaluatorCache(t *testing.T) {
+	ev := testEngineEvaluator(2)
+	n := Network{BundleType: 4, Channels: []int{8, 16}, PoolPos: []int{0}}
+	a1 := ev.Accuracy(n, 1)
+	_, misses0 := ev.CacheStats()
+	a2 := ev.Accuracy(n.Clone(), 1) // same genome, distinct slices
+	hits, misses := ev.CacheStats()
+	if a1 != a2 {
+		t.Fatalf("cache returned different accuracy: %v vs %v", a1, a2)
+	}
+	if misses != misses0 || hits == 0 {
+		t.Fatalf("repeat evaluation missed the cache (hits %d, misses %d -> %d)", hits, misses0, misses)
+	}
+	// A different epoch budget is a different accuracy question.
+	ev.Accuracy(n, 2)
+	_, misses2 := ev.CacheStats()
+	if misses2 != misses+1 {
+		t.Fatalf("epoch change must miss the accuracy cache (misses %d -> %d)", misses, misses2)
+	}
+	// Latency is architecture-only: epochs never misses the perf cache.
+	ev.Latency(n)
+	_, misses3 := ev.CacheStats()
+	if misses3 != misses2+1 {
+		t.Fatalf("first perf evaluation must miss once (misses %d -> %d)", misses2, misses3)
+	}
+	ev.Latency(n)
+	_, misses4 := ev.CacheStats()
+	if misses4 != misses3 {
+		t.Fatal("repeat perf evaluation must hit the cache")
+	}
+}
+
+func TestEngineEvaluatorStateRoundTrip(t *testing.T) {
+	ev := testEngineEvaluator(3)
+	n := Network{BundleType: 2, Channels: []int{8, 12}, PoolPos: []int{0}}
+	wantAcc := ev.Accuracy(n, 1)
+	wantLat := ev.Latency(n)
+	state, err := ev.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := testEngineEvaluator(3)
+	fresh.Factors = EngineFactors{} // would trigger re-measurement…
+	if err := fresh.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Factors.Zero() {
+		t.Fatal("restore must carry the calibrated factors")
+	}
+	if got := fresh.Accuracy(n, 1); got != wantAcc {
+		t.Fatalf("restored accuracy %v, want %v", got, wantAcc)
+	}
+	gotLat := fresh.Latency(n)
+	for k, v := range wantLat {
+		if gotLat[k] != v {
+			t.Fatalf("restored latency[%s] = %v, want %v", k, gotLat[k], v)
+		}
+	}
+	hits, misses := fresh.CacheStats()
+	if misses != 0 || hits == 0 {
+		t.Fatalf("restored evaluator recomputed (hits %d, misses %d)", hits, misses)
+	}
+}
+
+// TestMeasureFactorsPositive runs the real calibration path (real float32
+// and int8 forwards) and checks it yields usable rates.
+func TestMeasureFactorsPositive(t *testing.T) {
+	ev := testEngineEvaluator(4)
+	f := ev.MeasureFactors(referenceNetwork(), 2)
+	if f.Float32NSPerMAC <= 0 || f.Int8NSPerMAC <= 0 {
+		t.Fatalf("factors %+v, want positive", f)
+	}
+}
+
+// TestMeasuredSearchDeterministic is the tentpole's end-to-end property:
+// a fixed-seed search through the real engines (pinned factors) is
+// bitwise identical across worker counts AND across kill+resume with the
+// evaluator cache riding in the checkpoint.
+func TestMeasuredSearchDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine search in -short mode")
+	}
+	cfg := Config{
+		Groups: 2, PerGroup: 3, Iterations: 3,
+		Slots: 3, Pools: 2,
+		ChannelMin: 4, ChannelMax: 24,
+		Alpha: 0.01,
+		Gamma: 0.5,
+		Beta: map[string]float64{
+			PlatformFPGA: 2, PlatformGPU: 1, PlatformCPUInt8: 1,
+		},
+		TargetMS: map[string]float64{
+			PlatformFPGA: 10, PlatformGPU: 5, PlatformCPUInt8: 50,
+		},
+		Epochs: func(int) int { return 1 },
+		Seed:   5,
+	}
+
+	run := func(workers int, ck *Checkpoint, ev *EngineEvaluator, save func(Checkpoint) error) Result {
+		c := cfg
+		c.Workers = workers
+		res, err := SearchFrom(c, ev, ck, save)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	ref := run(1, nil, testEngineEvaluator(5), nil)
+	wide := run(4, nil, testEngineEvaluator(5), nil)
+	requireSameResult(t, ref, wide)
+
+	// Kill after the first iteration, resume on a fresh evaluator.
+	var first Checkpoint
+	func() {
+		defer func() { recover() }() // the kill below unwinds via panic
+		run(2, nil, testEngineEvaluator(5), func(ck Checkpoint) error {
+			first = ck
+			panic("killed")
+		})
+	}()
+	if first.Iter != 1 {
+		t.Fatalf("kill checkpoint at iter %d", first.Iter)
+	}
+	if first.EvalState == nil {
+		t.Fatal("checkpoint must carry the evaluator state")
+	}
+	fresh := testEngineEvaluator(5)
+	fresh.Factors = EngineFactors{} // restored state must supply them
+	resumed := run(2, &first, fresh, nil)
+	requireSameResult(t, ref, resumed)
+}

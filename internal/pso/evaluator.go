@@ -2,12 +2,14 @@ package pso
 
 import (
 	"math/rand"
+	"sync"
 
 	"skynet/internal/bundle"
 	"skynet/internal/dataset"
 	"skynet/internal/detect"
 	"skynet/internal/fpga"
 	"skynet/internal/hw"
+	"skynet/internal/modelspec"
 	"skynet/internal/nn"
 	"skynet/internal/tensor"
 )
@@ -19,65 +21,19 @@ import (
 // (space-to-depth) and concatenated into the final Bundle's input — the
 // SkyNet bypass of Figure 4. It returns the graph and whether the bypass
 // was applicable (it requires at least one pooling with a slot after it).
+// The lowering itself lives in modelspec.BuildBundleChain so a persisted
+// "search"-family Spec reconstructs the identical network.
 func BuildGraph(rng *rand.Rand, n Network, bundles []bundle.Bundle, inC, headC int, bypass bool) (*nn.Graph, bool) {
 	b := bundles[n.BundleType%len(bundles)]
-	g := nn.NewGraph()
-	poolAfter := map[int]bool{}
-	lastPool := -1
-	for _, p := range n.PoolPos {
-		poolAfter[p] = true
-		if p > lastPool {
-			lastPool = p
-		}
-	}
-	slots := len(n.Channels)
-	applyBypass := bypass && lastPool >= 0 && lastPool < slots-1
-
-	addBundle := func(in, out, from int) int {
-		i := from
-		for _, l := range b.Build(rng, in, out) {
-			if i < 0 {
-				i = g.Add(l, nn.GraphInput)
-			} else {
-				i = g.Add(l, i)
-			}
-		}
-		return i
-	}
-
-	cur := inC
-	node := -1
-	srcNode, srcC := -1, 0
-	stop := slots
-	if applyBypass {
-		stop = slots - 1 // the final slot becomes the fusion bundle
-	}
-	for s := 0; s < stop; s++ {
-		node = addBundle(cur, n.Channels[s], node)
-		cur = n.Channels[s]
-		if s == lastPool && applyBypass {
-			srcNode, srcC = node, cur
-		}
-		if poolAfter[s] {
-			node = g.Add(nn.NewMaxPool(2), node)
-		}
-	}
-	if applyBypass {
-		reorg := g.Add(nn.NewReorg(2), srcNode)
-		cat := g.Add(nn.NewConcat(), node, reorg)
-		node = addBundle(cur+4*srcC, n.Channels[slots-1], cat)
-		cur = n.Channels[slots-1]
-	}
-	if headC > 0 {
-		g.Add(nn.NewPWConv1(rng, cur, headC, true), node)
-	}
-	return g, applyBypass
+	return modelspec.BuildBundleChain(rng, b, n.Channels, n.PoolPos, inC, headC, bypass)
 }
 
-// HardwareEvaluator is the production Evaluator: accuracy from real fast
-// training on generated data, latency from the FPGA IP model and the GPU
-// roofline — "realistic hardware performance feedbacks instead of LUT
-// approximation" (§2.2).
+// HardwareEvaluator is the analytic-model Evaluator: accuracy from real
+// fast training on generated data, latency from the FPGA IP model and the
+// GPU roofline — "realistic hardware performance feedbacks instead of LUT
+// approximation" (§2.2). EngineEvaluator goes one step further and runs
+// the actual inference engines; this one stays purely model-based and is
+// the cheap default. Safe for concurrent use by Search's worker pool.
 type HardwareEvaluator struct {
 	Bundles       []bundle.Bundle
 	Gen           *dataset.Generator
@@ -89,6 +45,7 @@ type HardwareEvaluator struct {
 	WBits, FMBits int
 	Seed          int64
 
+	once  sync.Once
 	train []detect.Sample
 	val   []detect.Sample
 }
@@ -100,19 +57,19 @@ const (
 )
 
 func (e *HardwareEvaluator) ensureData() {
-	if e.train == nil {
+	e.once.Do(func() {
 		e.train = e.Gen.DetectionSet(e.TrainN)
 		e.val = e.Gen.DetectionSet(e.ValN)
-	}
-	if e.BatchSize <= 0 {
-		e.BatchSize = 8
-	}
-	if e.WBits == 0 {
-		e.WBits = 11
-	}
-	if e.FMBits == 0 {
-		e.FMBits = 9
-	}
+		if e.BatchSize <= 0 {
+			e.BatchSize = 8
+		}
+		if e.WBits == 0 {
+			e.WBits = 11
+		}
+		if e.FMBits == 0 {
+			e.FMBits = 9
+		}
+	})
 }
 
 // Accuracy implements Evaluator by fast-training the genome's network.

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 )
 
 // Network is one particle's genome: a chain of Slots Bundle replications
@@ -41,12 +42,40 @@ func (n Network) String() string {
 // Evaluator supplies the two halves of the fitness: task accuracy (from
 // fast training, with an epoch budget that grows per iteration) and
 // estimated latency per target platform.
+//
+// Search evaluates particles from a bounded worker pool, so an Evaluator
+// must be safe for concurrent use and — for the search trajectory to be
+// reproducible — must return the same values for the same (genome, epochs)
+// pair regardless of evaluation order or timing.
 type Evaluator interface {
 	// Accuracy trains/evaluates the network for the given epoch budget and
 	// returns validation accuracy in [0,1].
 	Accuracy(n Network, epochs int) float64
 	// Latency estimates per-platform latency in milliseconds.
 	Latency(n Network) map[string]float64
+}
+
+// QuantAwareEvaluator is an Evaluator that additionally measures the
+// accuracy of the int8-quantized network, closing the codesign loop on the
+// precision axis: Config.Gamma turns the float→int8 accuracy drop into a
+// fitness penalty, so the search avoids architectures that only work in
+// float32.
+type QuantAwareEvaluator interface {
+	Evaluator
+	// QuantAccuracy trains the network for the given epoch budget, exports
+	// it to int8, and returns the quantized model's validation accuracy.
+	QuantAccuracy(n Network, epochs int) float64
+}
+
+// StateCarrier is an Evaluator with internal state a resumed search needs
+// to replay identically — the engine evaluator's calibrated ns/MAC factors
+// and its evaluation cache. SearchFrom snapshots the state into every
+// Checkpoint and restores it before resuming.
+type StateCarrier interface {
+	// SnapshotState serializes the evaluator state.
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the evaluator state with a prior snapshot.
+	RestoreState(data []byte) error
 }
 
 // Config parameterizes the search.
@@ -66,10 +95,20 @@ type Config struct {
 	Alpha    float64
 	Beta     map[string]float64
 	TargetMS map[string]float64
+	// Gamma weights the quantization-drop penalty when the evaluator is a
+	// QuantAwareEvaluator: Gamma × max(0, acc − quantAcc) subtracts from
+	// the fitness. Zero disables the term.
+	Gamma float64
 	// Epochs returns the fast-training budget e_itr for iteration itr;
 	// the paper grows it with itr. Nil selects 1+itr.
 	Epochs func(itr int) int
 	Seed   int64
+	// Workers bounds the evaluation worker pool; 0 selects GOMAXPROCS.
+	// The search trajectory is identical for every worker count (results
+	// are reduced in fixed particle order), so Workers is a throughput
+	// knob, not a semantic one, and is excluded from the checkpoint
+	// config digest.
+	Workers int
 	// PaperLiteralFitness uses Equation 1 exactly as printed (a positive
 	// latency term); the default is the evidently intended penalty form.
 	PaperLiteralFitness bool
@@ -82,14 +121,22 @@ type Config struct {
 	// Progress, if non-nil, is called after each iteration with the global
 	// best fitness.
 	Progress func(itr int, best Particle)
+	// EvalObserver, if non-nil, receives the wall-clock duration of every
+	// particle evaluation. It is telemetry only — wall time never feeds
+	// the fitness (see SearchFrom's determinism contract) — and may be
+	// called concurrently from the worker pool.
+	EvalObserver func(d time.Duration)
 }
 
 // Particle is one evaluated network.
 type Particle struct {
 	Net Network
 	Acc float64
-	Lat map[string]float64
-	Fit float64
+	// QuantAcc is the int8-quantized accuracy when the evaluator measures
+	// it (QuantAwareEvaluator); NaN otherwise.
+	QuantAcc float64
+	Lat      map[string]float64
+	Fit      float64
 }
 
 // Result carries the search outcome.
@@ -130,6 +177,20 @@ func (c Config) Fitness(acc float64, lat map[string]float64) float64 {
 		return acc + c.Alpha*term
 	}
 	return acc - c.Alpha*term
+}
+
+// FitnessQ extends Fitness with the measured-codesign quantization term:
+// when the evaluator reports an int8 accuracy (quantAcc not NaN) and Gamma
+// is set, the float→int8 accuracy drop subtracts Gamma-weighted from the
+// fitness. Improvements under quantization (quantAcc > acc) are not
+// rewarded — the term penalizes fragility, it does not double-count
+// accuracy.
+func (c Config) FitnessQ(acc, quantAcc float64, lat map[string]float64) float64 {
+	f := c.Fitness(acc, lat)
+	if c.Gamma != 0 && !math.IsNaN(quantAcc) {
+		f -= c.Gamma * math.Max(0, acc-quantAcc)
+	}
+	return f
 }
 
 func (c *Config) normalize() {
@@ -185,58 +246,15 @@ func clampInt(v, lo, hi int) int {
 }
 
 // Search runs Algorithm 1 and returns the global best particle plus the
-// per-iteration best-fitness history (monotone non-decreasing).
+// per-iteration best-fitness history (monotone non-decreasing). It is
+// SearchFrom without checkpointing; see there for the evaluation and
+// determinism contract.
 func Search(cfg Config, eval Evaluator) Result {
-	cfg.normalize()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	// Population generation.
-	pop := make([][]Network, cfg.Groups)
-	for gi := range pop {
-		pop[gi] = make([]Network, cfg.PerGroup)
-		for j := range pop[gi] {
-			pop[gi][j] = cfg.randomNetwork(rng, gi)
-		}
-	}
-	var res Result
-	res.GroupBest = make([]Particle, cfg.Groups)
-	for gi := range res.GroupBest {
-		res.GroupBest[gi].Fit = math.Inf(-1)
-	}
-	res.Best.Fit = math.Inf(-1)
-
-	for itr := 0; itr < cfg.Iterations; itr++ {
-		epochs := cfg.Epochs(itr)
-		// Fast training + performance estimation for every particle.
-		for gi := range pop {
-			for j := range pop[gi] {
-				n := pop[gi][j]
-				acc := eval.Accuracy(n, epochs)
-				lat := eval.Latency(n)
-				p := Particle{Net: n.Clone(), Acc: acc, Lat: lat,
-					Fit: cfg.Fitness(acc, lat)}
-				if p.Fit > res.GroupBest[gi].Fit {
-					res.GroupBest[gi] = p
-				}
-				if p.Fit > res.Best.Fit {
-					res.Best = p
-				}
-			}
-		}
-		res.History = append(res.History, res.Best.Fit)
-		if cfg.Progress != nil {
-			cfg.Progress(itr, res.Best)
-		}
-		// Velocity calculation and particle update (within groups only,
-		// unless the GlobalEvolution ablation is enabled).
-		for gi := range pop {
-			best := res.GroupBest[gi].Net
-			if cfg.GlobalEvolution {
-				best = res.Best.Net
-			}
-			for j := range pop[gi] {
-				pop[gi][j] = cfg.evolve(rng, pop[gi][j], best)
-			}
-		}
+	res, err := SearchFrom(cfg, eval, nil, nil)
+	if err != nil {
+		// Unreachable: SearchFrom only errors on checkpoint validation and
+		// save-hook failures, and both are nil here.
+		panic(err)
 	}
 	return res
 }

@@ -1,0 +1,445 @@
+package pso
+
+// Search-as-a-service: a job API over the measured-fitness search.
+//
+//	POST /search/jobs          submit a JobSpec; idempotent by content
+//	GET  /search/jobs          list job statuses
+//	GET  /search/jobs/{id}     one job's status
+//	GET  /search/jobs/{id}/result  the finished job's best candidate
+//	GET  /metrics              service counters + per-particle eval latency
+//
+// A job's ID is the digest of its canonical spec, so resubmitting the same
+// spec returns the same job instead of relaunching the search, and the
+// checkpoint file <id>.ckpt in the service directory survives process
+// death: a restarted service resumes a resubmitted job from its last
+// completed iteration and — because the evaluator state (engine factors +
+// caches) rides in the checkpoint — finishes with the bitwise trajectory
+// of a never-killed run.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"skynet/internal/dataset"
+	"skynet/internal/fpga"
+	"skynet/internal/hw"
+	"skynet/internal/serve"
+)
+
+// JobSpec is the submit payload: the search Config's trajectory fields
+// plus the evaluator sizing. Everything is canonicalized by normalize, so
+// two specs that differ only in defaulted fields get the same job ID.
+type JobSpec struct {
+	Groups     int `json:"groups"`
+	PerGroup   int `json:"per_group"`
+	Iterations int `json:"iterations"`
+	Slots      int `json:"slots"`
+	Pools      int `json:"pools"`
+	ChannelMin int `json:"channel_min"`
+	ChannelMax int `json:"channel_max"`
+
+	Alpha    float64            `json:"alpha"`
+	Gamma    float64            `json:"gamma"`
+	Beta     map[string]float64 `json:"beta,omitempty"`
+	TargetMS map[string]float64 `json:"target_ms,omitempty"`
+	Seed     int64              `json:"seed"`
+
+	// W and H size the synthetic dataset; TrainN/ValN the split.
+	W         int `json:"w,omitempty"`
+	H         int `json:"h,omitempty"`
+	TrainN    int `json:"train_n,omitempty"`
+	ValN      int `json:"val_n,omitempty"`
+	BatchSize int `json:"batch_size,omitempty"`
+
+	// Factors pins the engine calibration; zero measures at job start.
+	Factors EngineFactors `json:"factors,omitempty"`
+
+	// Workers bounds the evaluation pool. Not part of the job ID: it
+	// changes throughput, never the trajectory.
+	Workers int `json:"workers,omitempty"`
+}
+
+func (j *JobSpec) normalize() {
+	if j.Groups <= 0 {
+		j.Groups = 2
+	}
+	if j.PerGroup <= 0 {
+		j.PerGroup = 4
+	}
+	if j.Iterations <= 0 {
+		j.Iterations = 4
+	}
+	if j.Slots <= 0 {
+		j.Slots = 3
+	}
+	if j.Pools <= 0 {
+		j.Pools = 2
+	}
+	if j.ChannelMin <= 0 {
+		j.ChannelMin = 4
+	}
+	if j.ChannelMax <= j.ChannelMin {
+		j.ChannelMax = j.ChannelMin * 8
+	}
+	if j.W <= 0 {
+		j.W = 48
+	}
+	if j.H <= 0 {
+		j.H = 24
+	}
+	if j.TrainN <= 0 {
+		j.TrainN = 8
+	}
+	if j.ValN <= 0 {
+		j.ValN = 4
+	}
+	if j.BatchSize <= 0 {
+		j.BatchSize = 4
+	}
+	if len(j.Beta) == 0 {
+		j.Beta = map[string]float64{PlatformFPGA: 2, PlatformGPU: 1, PlatformCPUInt8: 1}
+	}
+	if len(j.TargetMS) == 0 {
+		j.TargetMS = map[string]float64{PlatformFPGA: 10, PlatformGPU: 5, PlatformCPUInt8: 50}
+	}
+	if j.Alpha == 0 {
+		j.Alpha = 0.01
+	}
+}
+
+// ID is the job's content identity: the FNV digest of the canonical JSON
+// form (encoding/json sorts map keys, normalize fills defaults), minus the
+// throughput-only Workers knob.
+func (j JobSpec) ID() string {
+	j.normalize()
+	j.Workers = 0
+	b, err := json.Marshal(j)
+	if err != nil {
+		// Unreachable: JobSpec contains only marshalable fields.
+		panic(err)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(b) // hash.Hash.Write never fails
+	return fmt.Sprintf("job-%016x", h.Sum64())
+}
+
+// SearchConfig lowers the spec into the search Config.
+func (j JobSpec) SearchConfig() Config {
+	j.normalize()
+	return Config{
+		Groups: j.Groups, PerGroup: j.PerGroup, Iterations: j.Iterations,
+		Slots: j.Slots, Pools: j.Pools,
+		ChannelMin: j.ChannelMin, ChannelMax: j.ChannelMax,
+		Alpha: j.Alpha, Gamma: j.Gamma,
+		Beta: j.Beta, TargetMS: j.TargetMS,
+		Seed: j.Seed, Workers: j.Workers,
+	}
+}
+
+// NewEvaluator builds the job's measured-fitness evaluator.
+func (j JobSpec) NewEvaluator() *EngineEvaluator {
+	j.normalize()
+	dcfg := dataset.DefaultConfig()
+	dcfg.W, dcfg.H = j.W, j.H
+	return &EngineEvaluator{
+		Gen:    dataset.NewGenerator(dcfg),
+		TrainN: j.TrainN, ValN: j.ValN,
+		BatchSize: j.BatchSize,
+		InC:       3, HeadC: 10,
+		Device: fpga.Ultra96, GPU: hw.TX2,
+		Seed:    j.Seed,
+		Factors: j.Factors,
+	}
+}
+
+// JobStatus is the status payload.
+type JobStatus struct {
+	ID              string  `json:"id"`
+	State           string  `json:"state"` // queued | running | done | failed
+	IterationsDone  int     `json:"iterations_done"`
+	IterationsTotal int     `json:"iterations_total"`
+	BestFit         float64 `json:"best_fit,omitempty"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	Resumed         bool    `json:"resumed,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// JobResult is the result payload of a finished job.
+type JobResult struct {
+	ID          string              `json:"id"`
+	Best        Particle            `json:"best"`
+	History     []float64           `json:"history"`
+	Factors     EngineFactors       `json:"factors"`
+	Op          fpga.OperatingPoint `json:"operating_point"`
+	CacheHits   int64               `json:"cache_hits"`
+	CacheMisses int64               `json:"cache_misses"`
+}
+
+// job is the service's record of one search.
+type job struct {
+	spec JobSpec
+	eval *EngineEvaluator
+
+	mu     sync.Mutex
+	status JobStatus
+	result *JobResult
+	done   chan struct{}
+}
+
+// Service runs measured-fitness searches as resumable jobs.
+type Service struct {
+	dir string
+
+	mu   sync.Mutex
+	jobs map[string]*job
+
+	evalHist *serve.Histogram
+}
+
+// NewService creates a search service whose checkpoints live in dir.
+func NewService(dir string) *Service {
+	return &Service{dir: dir, jobs: map[string]*job{}, evalHist: serve.NewHistogram()}
+}
+
+// CheckpointPath is where the job's per-iteration checkpoint is written.
+func (s *Service) CheckpointPath(id string) string {
+	return filepath.Join(s.dir, id+".ckpt")
+}
+
+// Submit starts (or joins) the job for the spec. Submission is idempotent:
+// the same spec maps to the same job ID, a live job is returned as-is, and
+// a checkpoint left by a killed process resumes instead of restarting.
+func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	spec.normalize()
+	id := spec.ID()
+	s.mu.Lock()
+	if jb, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		return jb.Status(), nil
+	}
+	jb := &job{spec: spec, eval: spec.NewEvaluator(), done: make(chan struct{})}
+	jb.status = JobStatus{ID: id, State: "queued", IterationsTotal: spec.SearchConfig().Iterations}
+	s.jobs[id] = jb
+	s.mu.Unlock()
+
+	var ck *Checkpoint
+	if loaded, err := LoadCheckpoint(s.CheckpointPath(id)); err == nil {
+		ck = &loaded
+		jb.mu.Lock()
+		jb.status.Resumed = true
+		jb.status.IterationsDone = loaded.Iter
+		jb.mu.Unlock()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return jb.Status(), fmt.Errorf("pso: checkpoint for %s is unreadable: %w", id, err)
+	}
+	go s.run(jb, ck)
+	return jb.Status(), nil
+}
+
+func (s *Service) run(jb *job, ck *Checkpoint) {
+	defer close(jb.done)
+	cfg := jb.spec.SearchConfig()
+	cfg.EvalObserver = func(d time.Duration) { s.evalHist.Observe(d) }
+	cfg.Progress = func(itr int, best Particle) {
+		hits, misses := jb.eval.CacheStats()
+		jb.mu.Lock()
+		jb.status.State = "running"
+		jb.status.IterationsDone = itr + 1
+		jb.status.BestFit = best.Fit
+		jb.status.CacheHits, jb.status.CacheMisses = hits, misses
+		jb.mu.Unlock()
+	}
+	jb.mu.Lock()
+	jb.status.State = "running"
+	jb.mu.Unlock()
+
+	path := s.CheckpointPath(jb.status.ID)
+	res, err := SearchFrom(cfg, jb.eval, ck, func(snap Checkpoint) error {
+		return snap.Save(path)
+	})
+	hits, misses := jb.eval.CacheStats()
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	jb.status.CacheHits, jb.status.CacheMisses = hits, misses
+	if err != nil {
+		jb.status.State = "failed"
+		jb.status.Error = err.Error()
+		return
+	}
+	jb.status.State = "done"
+	jb.status.IterationsDone = cfg.Iterations
+	jb.status.BestFit = res.Best.Fit
+	jb.result = &JobResult{
+		ID:      jb.status.ID,
+		Best:    res.Best,
+		History: res.History,
+		Factors: jb.eval.Factors,
+		// The operating point couples the winner's FPGA estimate with the
+		// int8 accuracy it was actually selected on — not a re-measurement
+		// at the final epoch budget, which could differ if the best
+		// surfaced in an earlier iteration.
+		Op:        jb.eval.perf(res.Best.Net).Report.WithAccuracy(res.Best.QuantAcc),
+		CacheHits: hits, CacheMisses: misses,
+	}
+}
+
+// Status implements the job's mutex discipline for readers.
+func (jb *job) Status() JobStatus {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return jb.status
+}
+
+// Status returns the job's status, or false if the ID is unknown.
+func (s *Service) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	jb, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return jb.Status(), true
+}
+
+// Result returns the finished job's result; ok is false while the job is
+// still running or when the ID is unknown.
+func (s *Service) Result(id string) (JobResult, bool) {
+	s.mu.Lock()
+	jb, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobResult{}, false
+	}
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	if jb.result == nil {
+		return JobResult{}, false
+	}
+	return *jb.result, true
+}
+
+// Wait blocks until the job finishes (test and CLI convenience).
+func (s *Service) Wait(id string) {
+	s.mu.Lock()
+	jb, ok := s.jobs[id]
+	s.mu.Unlock()
+	if ok {
+		<-jb.done
+	}
+}
+
+// ServiceMetrics is the /metrics payload: job counts by state, the
+// evaluation-cache counters summed over jobs, and the per-particle
+// evaluation latency digest from the serving tier's histogram.
+type ServiceMetrics struct {
+	Jobs        map[string]int       `json:"jobs"`
+	CacheHits   int64                `json:"cache_hits"`
+	CacheMisses int64                `json:"cache_misses"`
+	EvalLatency serve.LatencySummary `json:"eval_latency"`
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() ServiceMetrics {
+	m := ServiceMetrics{Jobs: map[string]int{}, EvalLatency: s.evalHist.Summary()}
+	for _, jb := range s.snapshotJobs() {
+		st := jb.Status()
+		m.Jobs[st.State]++
+		m.CacheHits += st.CacheHits
+		m.CacheMisses += st.CacheMisses
+	}
+	return m
+}
+
+// snapshotJobs copies the job table in sorted-ID order under the lock.
+func (s *Service) snapshotJobs() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	return jobs
+}
+
+// Handler exposes the job API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /search/jobs", s.handleList)
+	mux.HandleFunc("GET /search/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /search/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// A write failure here means the client went away; there is no one
+	// left to report it to.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.snapshotJobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, jb := range jobs {
+		out = append(out, jb.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, ok := s.Result(id)
+	if !ok {
+		if st, known := s.Status(id); known {
+			writeJSON(w, http.StatusConflict, st) // not finished yet
+			return
+		}
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,236 @@
+package pso
+
+// Service tests drive the job API over real HTTP: submit/status/result
+// lifecycle, content-addressed idempotency, metrics, and the core resume
+// property — a service started over a dead process's checkpoint finishes
+// the search with the bitwise trajectory of an uninterrupted run.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func testJobSpec() JobSpec {
+	return JobSpec{
+		Groups: 2, PerGroup: 3, Iterations: 3,
+		Slots: 3, Pools: 2,
+		ChannelMin: 4, ChannelMax: 24,
+		Gamma: 0.5,
+		Seed:  5,
+		// Pinned factors: wall-clock calibration plays no role in the
+		// asserted trajectories.
+		Factors: EngineFactors{Float32NSPerMAC: 2.5, Int8NSPerMAC: 1.25},
+	}
+}
+
+// TestJobSpecWireFormat pins the snake_case wire names of the factors
+// block. The fields used to lack json tags, so a client pinning
+// "float32_ns_per_mac" was silently ignored and the job fell back to
+// wall-clock calibration — the opposite of what pinning is for.
+func TestJobSpecWireFormat(t *testing.T) {
+	var spec JobSpec
+	raw := `{"seed":1,"factors":{"float32_ns_per_mac":2.5,"int8_ns_per_mac":1.25}}`
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Factors != (EngineFactors{Float32NSPerMAC: 2.5, Int8NSPerMAC: 1.25}) {
+		t.Fatalf("snake_case factors did not unmarshal: %+v", spec.Factors)
+	}
+}
+
+func postJob(t *testing.T, url string, spec JobSpec) JobStatus {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(url+"/search/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServiceJobLifecycle runs in -short mode too: it is the coverage
+// anchor for the whole job API and stays under a second at this scale.
+func TestServiceJobLifecycle(t *testing.T) {
+	svc := NewService(t.TempDir())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	spec := testJobSpec()
+	st := postJob(t, ts.URL, spec)
+	if st.ID != spec.ID() {
+		t.Fatalf("job ID %s, want content digest %s", st.ID, spec.ID())
+	}
+	if st.IterationsTotal != 3 {
+		t.Fatalf("iterations total %d", st.IterationsTotal)
+	}
+
+	// Resubmitting the identical spec joins the same job; a different
+	// Workers value must not mint a new identity.
+	again := spec
+	again.Workers = 7
+	if st2 := postJob(t, ts.URL, again); st2.ID != st.ID {
+		t.Fatalf("resubmit minted a new job: %s vs %s", st2.ID, st.ID)
+	}
+
+	svc.Wait(st.ID)
+
+	var final JobStatus
+	if code := getJSON(t, ts.URL+"/search/jobs/"+st.ID, &final); code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	if final.State != "done" || final.IterationsDone != 3 {
+		t.Fatalf("final status %+v", final)
+	}
+	if final.CacheMisses == 0 {
+		t.Fatal("a finished search must have evaluated something")
+	}
+
+	var res JobResult
+	if code := getJSON(t, ts.URL+"/search/jobs/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result code %d", code)
+	}
+	if len(res.History) != 3 || len(res.Best.Net.Channels) == 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Op.IoU != res.Best.QuantAcc {
+		t.Fatalf("operating point IoU %v must be the best's measured int8 accuracy %v",
+			res.Op.IoU, res.Best.QuantAcc)
+	}
+	if res.Factors.Zero() {
+		t.Fatal("result must report the engine factors the job priced with")
+	}
+
+	var list []JobStatus
+	if code := getJSON(t, ts.URL+"/search/jobs", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list code %d len %d", code, len(list))
+	}
+
+	var m ServiceMetrics
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics code %d", code)
+	}
+	if m.Jobs["done"] != 1 {
+		t.Fatalf("metrics jobs %v", m.Jobs)
+	}
+	if m.EvalLatency.MeanMS <= 0 {
+		t.Fatal("per-particle eval latency histogram never observed anything")
+	}
+
+	if code := getJSON(t, ts.URL+"/search/jobs/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job code %d", code)
+	}
+}
+
+func TestServiceResultBeforeDone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine search service in -short mode")
+	}
+	svc := NewService(t.TempDir())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	spec := testJobSpec()
+	spec.Seed = 99 // distinct job from the lifecycle test
+	st := postJob(t, ts.URL, spec)
+	// Immediately after submit the result is typically not ready: the
+	// handler must answer 409-with-status, never 404 or a partial result.
+	code := getJSON(t, ts.URL+"/search/jobs/"+st.ID+"/result", nil)
+	if code != http.StatusConflict && code != http.StatusOK {
+		t.Fatalf("pre-completion result code %d", code)
+	}
+	svc.Wait(st.ID)
+	if code := getJSON(t, ts.URL+"/search/jobs/"+st.ID+"/result", nil); code != http.StatusOK {
+		t.Fatalf("post-completion result code %d", code)
+	}
+}
+
+// TestServiceResumesKilledJob simulates process death: a first "process"
+// runs the job's search directly and is killed after one iteration,
+// leaving the checkpoint file a real service would have written. A fresh
+// Service over the same directory then receives the same submission and
+// must resume — not restart — and land on the uninterrupted reference
+// trajectory.
+func TestServiceResumesKilledJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-engine search service in -short mode")
+	}
+	spec := testJobSpec()
+	spec.Seed = 17
+	id := spec.ID()
+
+	// Reference: never interrupted.
+	ref, err := SearchFrom(spec.SearchConfig(), spec.NewEvaluator(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	dead := NewService(dir)
+	killed := func() (res Result, err error) {
+		defer func() { recover() }()
+		return SearchFrom(spec.SearchConfig(), spec.NewEvaluator(), nil, func(ck Checkpoint) error {
+			if err := ck.Save(dead.CheckpointPath(id)); err != nil {
+				return err
+			}
+			if ck.Iter == 1 {
+				panic("killed")
+			}
+			return nil
+		})
+	}
+	killed()
+
+	svc := NewService(dir)
+	st, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Resumed || st.IterationsDone != 1 {
+		t.Fatalf("restarted service did not resume from the checkpoint: %+v", st)
+	}
+	svc.Wait(id)
+	res, ok := svc.Result(id)
+	if !ok {
+		t.Fatal("resumed job produced no result")
+	}
+	final, _ := svc.Status(id)
+	if final.State != "done" {
+		t.Fatalf("resumed job state %+v", final)
+	}
+	if len(res.History) != len(ref.History) {
+		t.Fatalf("resumed history %v vs reference %v", res.History, ref.History)
+	}
+	for i := range ref.History {
+		if res.History[i] != ref.History[i] {
+			t.Fatalf("trajectory diverged at iteration %d: %v vs %v", i, res.History, ref.History)
+		}
+	}
+	if res.Best.Fit != ref.Best.Fit || res.Best.Net.String() != ref.Best.Net.String() {
+		t.Fatalf("resumed best %+v differs from reference %+v", res.Best, ref.Best)
+	}
+}

@@ -53,12 +53,12 @@ func FuzzDetectHTTP(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"shape":[3,2,2],"data":[1,2,3]}`))                        // count mismatch
-	f.Add([]byte(`{"shape":[4],"data":[1,2,3,4]}`))                         // rank 1
-	f.Add([]byte(`{"shape":[5,2,2],"data":[` + zeros(20) + `]}`))           // 5 channels
-	f.Add([]byte(`{"shape":[-3,2,2],"data":[]}`))                           // negative dim
-	f.Add([]byte(`{"shape":[1073741824,1073741824,4],"data":[]}`))          // element overflow
-	f.Add([]byte(`{"shape":[0,0,0],"data":[]}`))                            // zero dims
-	f.Add([]byte(`{"shape":"wide","data":{}}`))                             // type confusion
+	f.Add([]byte(`{"shape":[4],"data":[1,2,3,4]}`))                          // rank 1
+	f.Add([]byte(`{"shape":[5,2,2],"data":[` + zeros(20) + `]}`))            // 5 channels
+	f.Add([]byte(`{"shape":[-3,2,2],"data":[]}`))                            // negative dim
+	f.Add([]byte(`{"shape":[1073741824,1073741824,4],"data":[]}`))           // element overflow
+	f.Add([]byte(`{"shape":[0,0,0],"data":[]}`))                             // zero dims
+	f.Add([]byte(`{"shape":"wide","data":{}}`))                              // type confusion
 	f.Add([]byte(`{"shape":[3,1,1],"data":[1e38,-1e38,0],"extra":"field"}`)) // unknown field
 
 	// The wrong-channel seeds only map to 400 because Config.Channels gates
@@ -90,8 +90,8 @@ func FuzzTrackStartHTTP(f *testing.F) {
 	f.Add(okStart)
 	f.Add([]byte(``))
 	f.Add([]byte(`{`))
-	f.Add([]byte(`{"shape":[3,2,2],"data":[1],"box":{}}`))               // count mismatch
-	f.Add([]byte(`{"shape":[1,4,4],"data":[` + zeros(16) + `],"box":{}}`)) // 1 channel
+	f.Add([]byte(`{"shape":[3,2,2],"data":[1],"box":{}}`))                                              // count mismatch
+	f.Add([]byte(`{"shape":[1,4,4],"data":[` + zeros(16) + `],"box":{}}`))                              // 1 channel
 	f.Add([]byte(`{"shape":[3,4,4],"data":[` + zeros(48) + `],"box":{"x":-1e9,"y":1e9,"w":0,"h":-5}}`)) // degenerate box
 	f.Add([]byte(`{"shape":[3,0,0],"data":[],"box":null}`))
 	f.Add([]byte(`{"box":"not a box"}`))
@@ -125,9 +125,9 @@ func FuzzTrackStepHTTP(f *testing.F) {
 	}
 	f.Add(okStep)
 	f.Add([]byte(``))
-	f.Add([]byte(`{"session":"` + id + `"}`))                                        // no frame
+	f.Add([]byte(`{"session":"` + id + `"}`))                                          // no frame
 	f.Add([]byte(`{"session":"t-999999","shape":[3,4,4],"data":[` + zeros(48) + `]}`)) // unknown session
-	f.Add([]byte(`{"session":"` + id + `","shape":[3,2],"data":[1,2,3,4,5,6]}`))     // rank 2
+	f.Add([]byte(`{"session":"` + id + `","shape":[3,2],"data":[1,2,3,4,5,6]}`))       // rank 2
 	f.Add([]byte(`{"session":"` + id + `","shape":[3,1,1],"data":[1,2,3],"mask":true}`))
 	f.Add([]byte(`{"session":42,"shape":[3,4,4]}`)) // type confusion
 

@@ -25,7 +25,7 @@ const (
 // histBounds is the one shared table of bucket upper bounds: bucket i
 // holds observations d with histBounds[i-1] <= d < histBounds[i] (bucket 0
 // holds everything below histBase; the last bucket is the overflow).
-// observe indexes by comparison against this table and quantile reads the
+// Observe indexes by comparison against this table and Quantile reads the
 // same table, so a reported quantile is always an upper bound on every
 // observation counted at or below it. The previous code derived the
 // observe index from math.Log and the bounds from math.Pow — two
@@ -40,17 +40,24 @@ var histBounds = func() [histBuckets]time.Duration {
 	return b
 }()
 
-// histogram is a fixed log-bucketed latency recorder. The zero bucket
-// holds everything below histBase; the last bucket is the overflow.
-type histogram struct {
+// Histogram is a fixed log-bucketed latency recorder. The zero bucket
+// holds everything below histBase; the last bucket is the overflow. It is
+// allocation-free and updated with atomics, so it is safe to call Observe
+// from any number of goroutines on a hot path. It is exported so other
+// measurement surfaces (the search service's per-particle evaluation
+// latencies) reuse the same bucket table and conservative quantiles as
+// the serving tier.
+type Histogram struct {
 	counts [histBuckets]atomic.Int64
 	total  atomic.Int64
 	sumNS  atomic.Int64
 }
 
-func newHistogram() *histogram { return &histogram{} }
+// NewHistogram returns an empty histogram ready for concurrent Observe.
+func NewHistogram() *Histogram { return &Histogram{} }
 
-func (h *histogram) observe(d time.Duration) {
+// Observe records one latency sample. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
@@ -69,11 +76,11 @@ func (h *histogram) observe(d time.Duration) {
 // bucketUpper returns the upper bound of bucket i from the shared table.
 func bucketUpper(i int) time.Duration { return histBounds[i] }
 
-// quantile returns the upper bound of the bucket containing the
+// Quantile returns the upper bound of the bucket containing the
 // rank-⌈q·total⌉ observation — a conservative (never underestimating)
 // quantile, resolved to the histogram's ×1.5 bucket granularity. No
 // interpolation is attempted inside a bucket. Zero observations report 0.
-func (h *histogram) quantile(q float64) time.Duration {
+func (h *Histogram) Quantile(q float64) time.Duration {
 	total := h.total.Load()
 	if total == 0 {
 		return 0
@@ -92,12 +99,23 @@ func (h *histogram) quantile(q float64) time.Duration {
 	return bucketUpper(histBuckets - 1)
 }
 
-func (h *histogram) mean() time.Duration {
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h *Histogram) Mean() time.Duration {
 	total := h.total.Load()
 	if total == 0 {
 		return 0
 	}
 	return time.Duration(h.sumNS.Load() / total)
+}
+
+// Summary digests the histogram into the /metrics latency block.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		MeanMS: h.Mean().Seconds() * 1e3,
+		P50MS:  h.Quantile(0.50).Seconds() * 1e3,
+		P95MS:  h.Quantile(0.95).Seconds() * 1e3,
+		P99MS:  h.Quantile(0.99).Seconds() * 1e3,
+	}
 }
 
 // LatencySummary is the request-latency digest exported by /metrics, in
@@ -229,12 +247,7 @@ func (p *Pool) Metrics() PoolMetrics {
 		Inflight:     len(p.inflight),
 		InflightCap:  cap(p.inflight),
 		Cache:        p.cache.stats(),
-		Latency: LatencySummary{
-			MeanMS: p.hist.mean().Seconds() * 1e3,
-			P50MS:  p.hist.quantile(0.50).Seconds() * 1e3,
-			P95MS:  p.hist.quantile(0.95).Seconds() * 1e3,
-			P99MS:  p.hist.quantile(0.99).Seconds() * 1e3,
-		},
+		Latency:      p.hist.Summary(),
 	}
 	if g := p.gen.Load(); g != nil {
 		m.Replicas = len(g.replicas)
@@ -263,12 +276,7 @@ func (s *Server) Metrics() Metrics {
 		Failed:     s.failed.Load(),
 		Rejected:   s.rejected.Load(),
 		Expired:    s.expired.Load(),
-		Latency: LatencySummary{
-			MeanMS: s.hist.mean().Seconds() * 1e3,
-			P50MS:  s.hist.quantile(0.50).Seconds() * 1e3,
-			P95MS:  s.hist.quantile(0.95).Seconds() * 1e3,
-			P99MS:  s.hist.quantile(0.99).Seconds() * 1e3,
-		},
+		Latency:    s.hist.Summary(),
 	}
 	for _, st := range s.ex.Stats() {
 		m.Stages = append(m.Stages, stageJSON(st))

@@ -108,7 +108,7 @@ type Pool struct {
 	closed atomic.Bool
 
 	cache *respCache
-	hist  *histogram // pool-level success latency, cache hits included
+	hist  *Histogram // pool-level success latency, cache hits included
 
 	// inflight is the HTTP-side admission semaphore (nil = unbounded); see
 	// PoolConfig.MaxInflight.
@@ -129,7 +129,7 @@ func NewPool(factory ModelFactory, cfg PoolConfig) (*Pool, error) {
 		return nil, errors.New("serve: pool needs a model factory")
 	}
 	cfg.normalize()
-	p := &Pool{cfg: cfg, hist: newHistogram()}
+	p := &Pool{cfg: cfg, hist: NewHistogram()}
 	g, err := p.buildGeneration(factory, cfg.Replicas)
 	if err != nil {
 		return nil, err
@@ -209,7 +209,7 @@ func (p *Pool) submit(ctx context.Context, img *tensor.Tensor) (detect.Box, floa
 	}
 	if box, conf, ok := p.cache.get(key); ok {
 		p.cacheServed.Add(1)
-		p.hist.observe(time.Since(t0))
+		p.hist.Observe(time.Since(t0))
 		return box, conf, g.id, nil
 	}
 
@@ -227,7 +227,7 @@ func (p *Pool) submit(ctx context.Context, img *tensor.Tensor) (detect.Box, floa
 			switch {
 			case err == nil:
 				p.cache.put(g.id, key, box, conf)
-				p.hist.observe(time.Since(t0))
+				p.hist.Observe(time.Since(t0))
 				return box, conf, g.id, nil
 			case errors.Is(err, ErrOverloaded):
 				if i == 0 && n > 1 {

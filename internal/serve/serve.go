@@ -115,7 +115,7 @@ func (r *request) deliver() {
 type Server struct {
 	cfg  Config
 	ex   *pipeline.Executor
-	hist *histogram
+	hist *Histogram
 
 	mu       sync.RWMutex // guards draining vs sends on in
 	draining bool
@@ -149,7 +149,7 @@ func New(m detect.Model, h *detect.Head, cfg Config) (*Server, error) {
 	cfg.normalize()
 	s := &Server{
 		cfg:      cfg,
-		hist:     newHistogram(),
+		hist:     NewHistogram(),
 		in:       make(chan any, cfg.QueueDepth),
 		finished: make(chan struct{}),
 	}
@@ -304,7 +304,7 @@ func (s *Server) Submit(ctx context.Context, img *tensor.Tensor) (detect.Box, fl
 
 	select {
 	case res := <-req.done:
-		s.hist.observe(time.Since(req.enq))
+		s.hist.Observe(time.Since(req.enq))
 		if res.err != nil {
 			s.failed.Add(1)
 			return detect.Box{}, 0, res.err

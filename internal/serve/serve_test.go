@@ -406,24 +406,24 @@ func TestBatchingAggregatesConcurrentRequests(t *testing.T) {
 }
 
 func TestHistogramQuantiles(t *testing.T) {
-	h := newHistogram()
-	if h.quantile(0.5) != 0 || h.mean() != 0 {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
 		t.Fatal("empty histogram must report zeros")
 	}
 	for i := 0; i < 90; i++ {
-		h.observe(1 * time.Millisecond)
+		h.Observe(1 * time.Millisecond)
 	}
 	for i := 0; i < 10; i++ {
-		h.observe(100 * time.Millisecond)
+		h.Observe(100 * time.Millisecond)
 	}
-	p50, p95, p99 := h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
 	if p50 > 3*time.Millisecond || p50 < time.Millisecond/2 {
 		t.Fatalf("p50 %v far from 1ms", p50)
 	}
 	if p95 < 50*time.Millisecond || p99 < p95 {
 		t.Fatalf("p95 %v p99 %v not in the tail", p95, p99)
 	}
-	if m := h.mean(); m < 5*time.Millisecond || m > 30*time.Millisecond {
+	if m := h.Mean(); m < 5*time.Millisecond || m > 30*time.Millisecond {
 		t.Fatalf("mean %v, want ≈ 10.9ms", m)
 	}
 	// Bucket bounds are monotone.

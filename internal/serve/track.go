@@ -198,7 +198,7 @@ type TrackService struct {
 	janitor  chan struct{} // closed to stop the sweeper
 	runErr   error
 
-	hist    *histogram
+	hist    *Histogram
 	nextID  atomic.Int64
 	started atomic.Int64
 	stepped atomic.Int64
@@ -223,7 +223,7 @@ func NewTrackService(tr *track.Tracker, cfg TrackConfig) (*TrackService, error) 
 		in:       make(chan any, cfg.QueueDepth),
 		finished: make(chan struct{}),
 		janitor:  make(chan struct{}),
-		hist:     newHistogram(),
+		hist:     NewHistogram(),
 	}
 
 	specs := []pipeline.StageSpec{
@@ -358,7 +358,7 @@ func (s *TrackService) submit(ctx context.Context, req *trackReq) error {
 
 	select {
 	case <-req.done:
-		s.hist.observe(time.Since(req.enq))
+		s.hist.Observe(time.Since(req.enq))
 		if req.err != nil {
 			s.failed.Add(1)
 			return req.err
@@ -574,12 +574,7 @@ func (s *TrackService) Metrics() TrackMetrics {
 		Failed:     s.failed.Load(),
 		Rejected:   s.reject.Load(),
 		Evicted:    s.evicted.Load(),
-		Latency: LatencySummary{
-			MeanMS: s.hist.mean().Seconds() * 1e3,
-			P50MS:  s.hist.quantile(0.50).Seconds() * 1e3,
-			P95MS:  s.hist.quantile(0.95).Seconds() * 1e3,
-			P99MS:  s.hist.quantile(0.99).Seconds() * 1e3,
-		},
+		Latency:    s.hist.Summary(),
 	}
 	var bytes int64
 	s.mu.RLock()

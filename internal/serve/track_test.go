@@ -433,17 +433,17 @@ func TestTrackStepsSerializePerSession(t *testing.T) {
 func TestHistogramBoundaryAgreement(t *testing.T) {
 	for i := 0; i < histBuckets-1; i++ {
 		bound := histBounds[i]
-		h := newHistogram()
-		h.observe(bound) // exactly at the bound: belongs to bucket i+1
+		h := NewHistogram()
+		h.Observe(bound) // exactly at the bound: belongs to bucket i+1
 		if got := h.counts[i].Load(); got != 0 {
 			t.Fatalf("observation at bound %d landed below it", i)
 		}
-		if q := h.quantile(1.0); q < bound {
+		if q := h.Quantile(1.0); q < bound {
 			t.Fatalf("bucket %d: p100 %v < observed %v", i, q, bound)
 		}
-		h2 := newHistogram()
-		h2.observe(bound - 1) // one nanosecond below: bucket i or lower
-		if q := h2.quantile(1.0); q < bound-1 {
+		h2 := NewHistogram()
+		h2.Observe(bound - 1) // one nanosecond below: bucket i or lower
+		if q := h2.Quantile(1.0); q < bound-1 {
 			t.Fatalf("bucket %d: p100 %v < observed %v", i, q, bound-1)
 		}
 	}
@@ -454,8 +454,8 @@ func TestHistogramBoundaryAgreement(t *testing.T) {
 		}
 	}
 	// Overflow: far beyond the last bound still counts, in the last bucket.
-	h := newHistogram()
-	h.observe(histBounds[histBuckets-1] * 10)
+	h := NewHistogram()
+	h.Observe(histBounds[histBuckets-1] * 10)
 	if h.counts[histBuckets-1].Load() != 1 {
 		t.Fatal("overflow observation not in the last bucket")
 	}
